@@ -1,0 +1,20 @@
+"""Benchmark harness: one benchmark per paper table/figure.
+
+Each benchmark regenerates its experiment through pytest-benchmark and
+prints the resulting rows, so ``pytest benchmarks/ --benchmark-only``
+reproduces the paper's evaluation section end to end.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print an ExperimentResult outside of captured output."""
+
+    def _show(result, max_rows=25):
+        with capsys.disabled():
+            print()
+            result.print(max_rows=max_rows)
+
+    return _show

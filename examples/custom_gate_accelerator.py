@@ -1,0 +1,72 @@
+"""Programmable SumCheck: define a brand-new custom gate, run it through
+the functional prover AND the zkPHIRE hardware model.
+
+This is the paper's core claim in miniature: a gate zkSpeed's
+fixed-function unit cannot express (a degree-9 Halo2-style constraint)
+is (1) proven correct with the functional SumCheck, (2) scheduled onto
+the programmable datapath by the Figure-2 scheduler, and (3) costed at
+2^24 scale by the performance model, including the CPU baseline.
+
+Run:  python examples/custom_gate_accelerator.py
+"""
+
+import random
+
+from repro.fields import Fr
+from repro.gates import GateSpec, Var
+from repro.hw.config import SumCheckUnitConfig
+from repro.hw.cpu_baseline import CpuModel
+from repro.hw.scheduler import PolyProfile, schedule_polynomial
+from repro.hw.sumcheck_unit import SumCheckUnitModel
+from repro.mle import DenseMLE, VirtualPolynomial
+from repro.sumcheck import Transcript, prove_sumcheck, verify_sumcheck
+
+
+def custom_gate() -> GateSpec:
+    """q * (u^4 * v - w)^2 + qc — a degree-9, 5-MLE custom constraint."""
+    q, qc, u, v, w = (Var(n) for n in ("q", "qc", "u", "v", "w"))
+    expr = q * (u ** 4 * v - w) ** 2 + qc
+    return GateSpec(gate_id=-99, name="custom-deg9", expr=expr,
+                    selector_names=("q", "qc"))
+
+
+def main() -> None:
+    rng = random.Random(31337)
+    spec = custom_gate()
+    print(f"gate {spec.name}: degree {spec.degree}, {spec.num_terms} terms, "
+          f"{spec.num_unique_mles} unique MLEs")
+
+    # -- 1. functional proof at small scale --------------------------------
+    terms = spec.compiled.bind(Fr)
+    mles = {n: DenseMLE.random(Fr, 6, rng) for n in spec.compiled.mle_names}
+    vp = VirtualPolynomial(Fr, terms, mles)
+    proof = prove_sumcheck(vp, Transcript(Fr))
+    verify_sumcheck(Fr, vp.terms, proof, Transcript(Fr))
+    print(f"functional SumCheck over 2^6 gates verified ✔ "
+          f"({len(proof.round_evals)} rounds x {spec.degree + 1} evaluations)")
+
+    # -- 2. schedule it onto the programmable datapath ----------------------
+    profile = PolyProfile.from_gate(spec)
+    for ees in (3, 5, 7):
+        sched = schedule_polynomial(profile, ees=ees, pls=5)
+        print(f"  {ees} EEs: {sched.num_steps} schedule steps, "
+              f"II={sched.initiation_interval()}, "
+              f"tmp buffers={sched.tmp_buffers_required()}")
+
+    # -- 3. cost it at full scale -------------------------------------------
+    cfg = SumCheckUnitConfig(pes=16, ees_per_pe=7, pls_per_pe=5,
+                             sram_bank_words=1024)
+    cpu = CpuModel(threads=4)
+    print("\n2^24-gate SumCheck latency for the custom gate:")
+    for bw in (256, 1024, 4096):
+        run = SumCheckUnitModel(cfg, bw).run(profile, 24)
+        cpu_s = cpu.sumcheck_seconds(profile, 24)
+        print(f"  {bw:5d} GB/s: {run.latency_s * 1e3:8.2f} ms "
+              f"(CPU {cpu_s:6.1f} s -> {cpu_s / run.latency_s:6.0f}x), "
+              f"util {run.utilization:.2f}")
+    print("\nzkSpeed's fixed-function unit cannot run this gate at all — "
+          "programmability is the point (§III).")
+
+
+if __name__ == "__main__":
+    main()

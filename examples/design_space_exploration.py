@@ -1,0 +1,55 @@
+"""Architect's view: explore zkPHIRE design points for a target workload.
+
+Reproduces the §VI-B flow in miniature: evaluate the paper's exemplar
+(Table V), sweep a small design grid at several bandwidth tiers, print
+the Pareto frontier, and break down where the time goes.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.hw.accelerator import ZkPhireModel, proof_size_bytes
+from repro.hw.area import accelerator_area
+from repro.hw.config import AcceleratorConfig, MSMUnitConfig, SumCheckUnitConfig
+from repro.hw.dse import accelerator_dse, pareto_frontier
+from repro.hw.power import accelerator_power
+
+WORKLOAD = ("jellyfish", 24)   # 2^24 Jellyfish gates (Rollup-25 class)
+CPU_SECONDS = 182.896          # measured 32-thread baseline (§VI-B1)
+
+
+def show_exemplar() -> None:
+    cfg = AcceleratorConfig.exemplar()
+    model = ZkPhireModel(cfg)
+    bd = model.breakdown(*WORKLOAD)
+    area = accelerator_area(cfg)
+    power = accelerator_power(area, cfg.bandwidth_gbps)
+    print(f"exemplar design: {area.total:.1f} mm2, {power.total:.0f} W, "
+          f"{cfg.bandwidth_gbps:.0f} GB/s")
+    for phase, seconds in bd.as_dict().items():
+        print(f"  {phase:14s} {seconds * 1e3:8.2f} ms")
+    print(f"  TOTAL (masked) {bd.total * 1e3:8.2f} ms "
+          f"-> {CPU_SECONDS / bd.total:.0f}x over CPU; "
+          f"proof {proof_size_bytes(*WORKLOAD) / 1024:.2f} KB\n")
+
+
+def sweep() -> None:
+    sc_grid = [SumCheckUnitConfig(pes=p, ees_per_pe=e, pls_per_pe=5,
+                                  sram_bank_words=1024)
+               for p in (4, 16) for e in (3, 7)]
+    msm_grid = [MSMUnitConfig(pes=p, window_bits=9) for p in (8, 32)]
+    points = []
+    for bw in (512, 1024, 2048):
+        points += accelerator_dse(*WORKLOAD, bandwidth_gbps=bw,
+                                  sc_grid=sc_grid, msm_grid=msm_grid)
+    front = pareto_frontier(points)
+    print(f"swept {len(points)} designs -> {len(front)} Pareto-optimal:")
+    print(f"  {'runtime':>10s}  {'area':>8s}  {'BW':>6s}  {'speedup':>8s}")
+    for p in front:
+        print(f"  {p.runtime_s * 1e3:8.1f}ms  {p.area_mm2:6.1f}mm2  "
+              f"{p.config.bandwidth_gbps:5.0f}  "
+              f"{CPU_SECONDS / p.runtime_s:7.0f}x")
+
+
+if __name__ == "__main__":
+    show_exemplar()
+    sweep()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no `wheel` package, so PEP 660
+editable installs (`pip install -e .` with build isolation) are unavailable.
+This shim lets `python setup.py develop` / `pip install -e . --no-build-isolation`
+fall back to the classic egg-link editable install.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of zkPHIRE (HPCA 2026).
+
+zkPHIRE is a programmable accelerator for zero-knowledge proofs over
+high-degree, expressive gates.  This library reproduces the paper as two
+coupled layers:
+
+* a **functional ZKP stack** (``repro.fields``, ``repro.curves``,
+  ``repro.mle``, ``repro.gates``, ``repro.sumcheck``,
+  ``repro.hyperplonk``) — a correct, pure-Python HyperPlonk prover and
+  verifier with custom high-degree gates, runnable at small scales;
+* a **hardware performance model** (``repro.hw``, ``repro.workloads``,
+  ``repro.experiments``) — analytical models of every zkPHIRE module,
+  calibrated baselines, and the design-space exploration that regenerates
+  every table and figure in the paper's evaluation.
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+__version__ = "0.1.0"
+
+from repro.fields import Fq, Fr
+
+__all__ = ["Fr", "Fq", "__version__"]

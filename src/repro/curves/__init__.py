@@ -1,0 +1,27 @@
+"""Elliptic-curve substrate: BLS12-381 G1 and multi-scalar multiplication.
+
+The polynomial commitment scheme in HyperPlonk commits to MLEs with
+multi-scalar multiplications (MSMs) over BLS12-381 G1 (§II-B).  This
+package implements
+
+* :class:`~repro.curves.curve.ShortWeierstrassCurve` and point types
+  (affine and Jacobian) with complete add/double/scalar-mul,
+* :mod:`~repro.curves.bls12_381_g1` — the concrete G1 group,
+* :func:`~repro.curves.msm.msm_pippenger` — Pippenger's bucket algorithm,
+  the same algorithm zkPHIRE's MSM unit implements in hardware, plus a
+  naive MSM used as a test oracle.
+"""
+
+from repro.curves.curve import AffinePoint, JacobianPoint, ShortWeierstrassCurve
+from repro.curves.bls12_381_g1 import G1, G1_GENERATOR
+from repro.curves.msm import msm_naive, msm_pippenger
+
+__all__ = [
+    "AffinePoint",
+    "JacobianPoint",
+    "ShortWeierstrassCurve",
+    "G1",
+    "G1_GENERATOR",
+    "msm_naive",
+    "msm_pippenger",
+]

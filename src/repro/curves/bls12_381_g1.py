@@ -1,0 +1,14 @@
+"""The BLS12-381 G1 group: y^2 = x^3 + 4 over Fq, order r."""
+
+from repro.curves.curve import ShortWeierstrassCurve
+from repro.fields.bls12_381 import (
+    FR_MODULUS,
+    Fq,
+    G1_B,
+    G1_GENERATOR_X,
+    G1_GENERATOR_Y,
+)
+
+G1 = ShortWeierstrassCurve(Fq, a=0, b=G1_B, order=FR_MODULUS, name="BLS12-381 G1")
+
+G1_GENERATOR = G1.affine(G1_GENERATOR_X, G1_GENERATOR_Y)

@@ -1,0 +1,229 @@
+"""Short-Weierstrass elliptic-curve arithmetic.
+
+Points on ``y^2 = x^3 + a*x + b`` over a prime field.  Two representations:
+
+* :class:`AffinePoint` — canonical (x, y) pairs; cheap equality, used at
+  API boundaries (commitments, SRS files).
+* :class:`JacobianPoint` — (X, Y, Z) with x = X/Z^2, y = Y/Z^3; inversion-
+  free group law used in all inner loops.  This matches hardware practice:
+  zkPHIRE's fully-pipelined PADD units operate on projective coordinates.
+
+Formulas follow the standard Jacobian dbl-2009-l / add-2007-bl forms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fields.prime_field import PrimeField
+
+
+class ShortWeierstrassCurve:
+    """The curve y^2 = x^3 + a*x + b over ``field``, with group order ``order``."""
+
+    def __init__(self, field: PrimeField, a: int, b: int, order: int, name: str):
+        self.field = field
+        self.a = a % field.modulus
+        self.b = b % field.modulus
+        self.order = order
+        self.name = name
+
+    def is_on_curve(self, x: int, y: int) -> bool:
+        p = self.field.modulus
+        return (y * y - (x * x * x + self.a * x + self.b)) % p == 0
+
+    def affine(self, x: int, y: int) -> "AffinePoint":
+        pt = AffinePoint(self, x % self.field.modulus, y % self.field.modulus, False)
+        if not self.is_on_curve(pt.x, pt.y):
+            raise ValueError(f"({x}, {y}) is not on {self.name}")
+        return pt
+
+    @property
+    def infinity(self) -> "AffinePoint":
+        return AffinePoint(self, 0, 0, True)
+
+    @property
+    def jacobian_infinity(self) -> "JacobianPoint":
+        return JacobianPoint(self, 1, 1, 0)
+
+    def __repr__(self):
+        return f"ShortWeierstrassCurve({self.name})"
+
+
+@dataclass(frozen=True)
+class AffinePoint:
+    """An affine curve point, or the point at infinity when ``inf`` is set."""
+
+    curve: ShortWeierstrassCurve
+    x: int
+    y: int
+    inf: bool = False
+
+    def to_jacobian(self) -> "JacobianPoint":
+        if self.inf:
+            return self.curve.jacobian_infinity
+        return JacobianPoint(self.curve, self.x, self.y, 1)
+
+    def neg(self) -> "AffinePoint":
+        if self.inf:
+            return self
+        return AffinePoint(self.curve, self.x, self.curve.field.modulus - self.y)
+
+    def add(self, other: "AffinePoint") -> "AffinePoint":
+        return self.to_jacobian().add_affine(other).to_affine()
+
+    def double(self) -> "AffinePoint":
+        return self.to_jacobian().double().to_affine()
+
+    def scalar_mul(self, k: int) -> "AffinePoint":
+        return self.to_jacobian().scalar_mul(k).to_affine()
+
+    def __eq__(self, other):
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        if self.inf or other.inf:
+            return self.inf and other.inf
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self):
+        return hash((self.curve.name, self.x, self.y, self.inf))
+
+    def __repr__(self):
+        if self.inf:
+            return f"AffinePoint({self.curve.name}, inf)"
+        return f"AffinePoint({self.curve.name}, x={hex(self.x)[:14]}..)"
+
+
+class JacobianPoint:
+    """Jacobian-projective point; Z == 0 encodes the point at infinity."""
+
+    __slots__ = ("curve", "x", "y", "z")
+
+    def __init__(self, curve: ShortWeierstrassCurve, x: int, y: int, z: int):
+        self.curve = curve
+        self.x = x
+        self.y = y
+        self.z = z
+
+    @property
+    def is_infinity(self) -> bool:
+        return self.z == 0
+
+    def to_affine(self) -> AffinePoint:
+        if self.z == 0:
+            return self.curve.infinity
+        p = self.curve.field.modulus
+        zinv = pow(self.z, -1, p)
+        zinv2 = zinv * zinv % p
+        return AffinePoint(self.curve, self.x * zinv2 % p, self.y * zinv2 * zinv % p)
+
+    def neg(self) -> "JacobianPoint":
+        if self.z == 0:
+            return self
+        return JacobianPoint(self.curve, self.x, self.curve.field.modulus - self.y, self.z)
+
+    def double(self) -> "JacobianPoint":
+        if self.z == 0 or self.y == 0:
+            return self.curve.jacobian_infinity if self.y == 0 else self
+        p = self.curve.field.modulus
+        x, y, z = self.x, self.y, self.z
+        a = self.curve.a
+        ysq = y * y % p
+        s = 4 * x * ysq % p
+        if a == 0:
+            m = 3 * x * x % p
+        else:
+            z2 = z * z % p
+            m = (3 * x * x + a * z2 * z2) % p
+        nx = (m * m - 2 * s) % p
+        ny = (m * (s - nx) - 8 * ysq * ysq) % p
+        nz = 2 * y * z % p
+        return JacobianPoint(self.curve, nx, ny, nz)
+
+    def add(self, other: "JacobianPoint") -> "JacobianPoint":
+        if self.z == 0:
+            return other
+        if other.z == 0:
+            return self
+        p = self.curve.field.modulus
+        x1, y1, z1 = self.x, self.y, self.z
+        x2, y2, z2 = other.x, other.y, other.z
+        z1z1 = z1 * z1 % p
+        z2z2 = z2 * z2 % p
+        u1 = x1 * z2z2 % p
+        u2 = x2 * z1z1 % p
+        s1 = y1 * z2 * z2z2 % p
+        s2 = y2 * z1 * z1z1 % p
+        if u1 == u2:
+            if s1 != s2:
+                return self.curve.jacobian_infinity
+            return self.double()
+        h = (u2 - u1) % p
+        i = 4 * h * h % p
+        j = h * i % p
+        r = 2 * (s2 - s1) % p
+        v = u1 * i % p
+        nx = (r * r - j - 2 * v) % p
+        ny = (r * (v - nx) - 2 * s1 * j) % p
+        nz = 2 * h * z1 * z2 % p
+        return JacobianPoint(self.curve, nx, ny, nz)
+
+    def add_affine(self, other: AffinePoint) -> "JacobianPoint":
+        """Mixed addition (other has Z=1); ~30% cheaper, the hardware PADD case."""
+        if other.inf:
+            return self
+        if self.z == 0:
+            return other.to_jacobian()
+        p = self.curve.field.modulus
+        x1, y1, z1 = self.x, self.y, self.z
+        z1z1 = z1 * z1 % p
+        u2 = other.x * z1z1 % p
+        s2 = other.y * z1 * z1z1 % p
+        if x1 == u2:
+            if y1 != s2:
+                return self.curve.jacobian_infinity
+            return self.double()
+        h = (u2 - x1) % p
+        hh = h * h % p
+        i = 4 * hh % p
+        j = h * i % p
+        r = 2 * (s2 - y1) % p
+        v = x1 * i % p
+        nx = (r * r - j - 2 * v) % p
+        ny = (r * (v - nx) - 2 * y1 * j) % p
+        nz = (z1 + h) * (z1 + h) % p
+        nz = (nz - z1z1 - hh) % p
+        return JacobianPoint(self.curve, nx, ny, nz)
+
+    def scalar_mul(self, k: int) -> "JacobianPoint":
+        """Double-and-add scalar multiplication (left-to-right)."""
+        k %= self.curve.order
+        if k == 0 or self.z == 0:
+            return self.curve.jacobian_infinity
+        result: Optional[JacobianPoint] = None
+        for bit in bin(k)[2:]:
+            if result is not None:
+                result = result.double()
+            if bit == "1":
+                result = self if result is None else result.add(self)
+        assert result is not None
+        return result
+
+    def __eq__(self, other):
+        if not isinstance(other, JacobianPoint):
+            return NotImplemented
+        if self.z == 0 or other.z == 0:
+            return self.z == 0 and other.z == 0
+        # Cross-multiply to compare without inversion.
+        p = self.curve.field.modulus
+        z1z1 = self.z * self.z % p
+        z2z2 = other.z * other.z % p
+        if self.x * z2z2 % p != other.x * z1z1 % p:
+            return False
+        return self.y * z2z2 * other.z % p == other.y * z1z1 * self.z % p
+
+    def __repr__(self):
+        if self.z == 0:
+            return f"JacobianPoint({self.curve.name}, inf)"
+        return f"JacobianPoint({self.curve.name}, x={hex(self.x)[:14]}..)"

@@ -1,0 +1,91 @@
+"""Multi-scalar multiplication (MSM).
+
+Computes ``sum_i k_i * P_i`` for scalars ``k_i`` and curve points ``P_i``.
+MSMs dominate HyperPlonk's prover runtime (§II-B, Fig. 12), and zkPHIRE's
+MSM unit implements Pippenger's bucket algorithm [Pippenger76] in hardware.
+:func:`msm_pippenger` here is the same algorithm in software, with the same
+structure the hardware model (``repro.hw.msm_unit``) costs out: for each
+``window_bits``-wide scalar window, accumulate points into buckets, then
+reduce buckets with a running-sum scan.
+
+:func:`msm_naive` is the O(n · 256) double-and-add oracle used in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.curves.curve import AffinePoint, JacobianPoint
+
+
+def msm_naive(scalars: Sequence[int], points: Sequence[AffinePoint]) -> AffinePoint:
+    """Reference MSM by per-term scalar multiplication."""
+    if len(scalars) != len(points):
+        raise ValueError("scalars and points must have equal length")
+    if not points:
+        raise ValueError("empty MSM")
+    curve = points[0].curve
+    acc = curve.jacobian_infinity
+    for k, pt in zip(scalars, points):
+        acc = acc.add(pt.to_jacobian().scalar_mul(k))
+    return acc.to_affine()
+
+
+def optimal_window_bits(n: int) -> int:
+    """Pippenger's asymptotically optimal window: ~log2(n) - log2(log2(n))."""
+    if n <= 4:
+        return 2
+    logn = math.log2(n)
+    return max(2, int(round(logn - math.log2(max(logn, 2)))))
+
+
+def msm_pippenger(
+    scalars: Sequence[int],
+    points: Sequence[AffinePoint],
+    window_bits: int | None = None,
+) -> AffinePoint:
+    """Pippenger bucket-method MSM.
+
+    For each window w of the scalar (LSB first), every point whose scalar
+    has window value v != 0 is added to bucket[v]; buckets are combined as
+    ``sum_v v * bucket[v]`` via a suffix running sum, and window results
+    are combined with ``window_bits`` doublings between windows.
+    """
+    if len(scalars) != len(points):
+        raise ValueError("scalars and points must have equal length")
+    if not points:
+        raise ValueError("empty MSM")
+    curve = points[0].curve
+    order = curve.order
+    scalars = [k % order for k in scalars]
+    c = window_bits or optimal_window_bits(len(points))
+    num_windows = (order.bit_length() + c - 1) // c
+
+    window_sums: list[JacobianPoint] = []
+    for w in range(num_windows):
+        shift = w * c
+        buckets: list[JacobianPoint | None] = [None] * ((1 << c) - 1)
+        for k, pt in zip(scalars, points):
+            v = (k >> shift) & ((1 << c) - 1)
+            if v == 0 or pt.inf:
+                continue
+            slot = v - 1
+            cur = buckets[slot]
+            buckets[slot] = pt.to_jacobian() if cur is None else cur.add_affine(pt)
+        # Suffix running sum: sum_v v*bucket[v] with 2*(2^c - 1) additions.
+        running = curve.jacobian_infinity
+        total = curve.jacobian_infinity
+        for slot in range(len(buckets) - 1, -1, -1):
+            b = buckets[slot]
+            if b is not None:
+                running = running.add(b)
+            total = total.add(running)
+        window_sums.append(total)
+
+    acc = curve.jacobian_infinity
+    for total in reversed(window_sums):
+        for _ in range(c):
+            acc = acc.double()
+        acc = acc.add(total)
+    return acc.to_affine()

@@ -1,0 +1,257 @@
+"""The BLS12-381 extension-field tower: Fp2, Fp6, Fp12.
+
+Layout (the standard one, e.g. zkcrypto/bls12_381):
+
+* Fp2  = Fp [u] / (u^2 + 1)
+* Fp6  = Fp2[v] / (v^3 - ξ),  ξ = u + 1
+* Fp12 = Fp6[w] / (w^2 - v)
+
+Elements are immutable tuples of coefficients (low degree first).  Used
+by :mod:`repro.curves.pairing` to implement the ate pairing that backs
+the public-verification path of the multilinear KZG commitment.
+"""
+
+from __future__ import annotations
+
+from repro.fields.bls12_381 import FQ_MODULUS as P
+
+
+class Fp2:
+    """a + b·u with u^2 = -1."""
+
+    __slots__ = ("a", "b")
+
+    def __init__(self, a: int, b: int = 0):
+        self.a = a % P
+        self.b = b % P
+
+    ZERO: "Fp2"
+    ONE: "Fp2"
+
+    def __add__(self, o: "Fp2") -> "Fp2":
+        return Fp2(self.a + o.a, self.b + o.b)
+
+    def __sub__(self, o: "Fp2") -> "Fp2":
+        return Fp2(self.a - o.a, self.b - o.b)
+
+    def __neg__(self) -> "Fp2":
+        return Fp2(-self.a, -self.b)
+
+    def __mul__(self, o: "Fp2") -> "Fp2":
+        # Karatsuba: (a1 + b1 u)(a2 + b2 u) = a1a2 - b1b2 + (a1b2 + a2b1) u
+        aa = self.a * o.a
+        bb = self.b * o.b
+        cross = (self.a + self.b) * (o.a + o.b) - aa - bb
+        return Fp2(aa - bb, cross)
+
+    def mul_scalar(self, k: int) -> "Fp2":
+        return Fp2(self.a * k, self.b * k)
+
+    def square(self) -> "Fp2":
+        # (a + bu)^2 = (a+b)(a-b) + 2ab u
+        return Fp2((self.a + self.b) * (self.a - self.b), 2 * self.a * self.b)
+
+    def conjugate(self) -> "Fp2":
+        return Fp2(self.a, -self.b)
+
+    def inverse(self) -> "Fp2":
+        norm = (self.a * self.a + self.b * self.b) % P
+        if norm == 0:
+            raise ZeroDivisionError("Fp2 inverse of zero")
+        inv = pow(norm, -1, P)
+        return Fp2(self.a * inv, -self.b * inv)
+
+    def frobenius(self) -> "Fp2":
+        """x -> x^p (conjugation, since p ≡ 3 mod 4)."""
+        return self.conjugate()
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def __eq__(self, o):
+        return isinstance(o, Fp2) and self.a == o.a and self.b == o.b
+
+    def __hash__(self):
+        return hash((self.a, self.b))
+
+    def __repr__(self):
+        return f"Fp2({hex(self.a)[:12]}.., {hex(self.b)[:12]}..)"
+
+
+Fp2.ZERO = Fp2(0, 0)
+Fp2.ONE = Fp2(1, 0)
+
+#: the Fp6 non-residue ξ = u + 1
+XI = Fp2(1, 1)
+
+
+def _mul_by_xi(x: Fp2) -> Fp2:
+    """Multiply by ξ = 1 + u: (a + bu)(1 + u) = (a - b) + (a + b)u."""
+    return Fp2(x.a - x.b, x.a + x.b)
+
+
+class Fp6:
+    """c0 + c1·v + c2·v^2 over Fp2, with v^3 = ξ."""
+
+    __slots__ = ("c0", "c1", "c2")
+
+    def __init__(self, c0: Fp2, c1: Fp2, c2: Fp2):
+        self.c0, self.c1, self.c2 = c0, c1, c2
+
+    ZERO: "Fp6"
+    ONE: "Fp6"
+
+    def __add__(self, o: "Fp6") -> "Fp6":
+        return Fp6(self.c0 + o.c0, self.c1 + o.c1, self.c2 + o.c2)
+
+    def __sub__(self, o: "Fp6") -> "Fp6":
+        return Fp6(self.c0 - o.c0, self.c1 - o.c1, self.c2 - o.c2)
+
+    def __neg__(self) -> "Fp6":
+        return Fp6(-self.c0, -self.c1, -self.c2)
+
+    def __mul__(self, o: "Fp6") -> "Fp6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = o.c0, o.c1, o.c2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = a2 * b2
+        c0 = t0 + _mul_by_xi((a1 + a2) * (b1 + b2) - t1 - t2)
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + _mul_by_xi(t2)
+        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
+        return Fp6(c0, c1, c2)
+
+    def square(self) -> "Fp6":
+        return self * self
+
+    def mul_by_v(self) -> "Fp6":
+        """Multiply by v: (c0, c1, c2) -> (ξ·c2, c0, c1)."""
+        return Fp6(_mul_by_xi(self.c2), self.c0, self.c1)
+
+    def mul_fp2(self, k: Fp2) -> "Fp6":
+        return Fp6(self.c0 * k, self.c1 * k, self.c2 * k)
+
+    def inverse(self) -> "Fp6":
+        a, b, c = self.c0, self.c1, self.c2
+        t0 = a.square() - _mul_by_xi(b * c)
+        t1 = _mul_by_xi(c.square()) - a * b
+        t2 = b.square() - a * c
+        denom = a * t0 + _mul_by_xi(c * t1) + _mul_by_xi(b * t2)
+        inv = denom.inverse()
+        return Fp6(t0 * inv, t1 * inv, t2 * inv)
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero() and self.c2.is_zero()
+
+    def __eq__(self, o):
+        return (isinstance(o, Fp6) and self.c0 == o.c0 and self.c1 == o.c1
+                and self.c2 == o.c2)
+
+    def __repr__(self):
+        return f"Fp6({self.c0!r}, {self.c1!r}, {self.c2!r})"
+
+
+Fp6.ZERO = Fp6(Fp2.ZERO, Fp2.ZERO, Fp2.ZERO)
+Fp6.ONE = Fp6(Fp2.ONE, Fp2.ZERO, Fp2.ZERO)
+
+
+# Frobenius coefficients: γ_i = ξ^((p^1 - 1) * i / 3) etc., precomputed
+# as integer powers at import time (exact field arithmetic, no magic
+# constants to mistype).
+def _xi_pow(exp_num: int, exp_den: int) -> Fp2:
+    """ξ^((p - 1) * exp_num / exp_den) computed via integer exponent."""
+    e = (P - 1) * exp_num // exp_den
+    # ξ = 1 + u; compute by square-and-multiply in Fp2
+    base = XI
+    result = Fp2.ONE
+    while e:
+        if e & 1:
+            result = result * base
+        base = base.square()
+        e >>= 1
+    return result
+
+
+FROB_GAMMA1 = _xi_pow(1, 3)   # for c1 of Fp6
+FROB_GAMMA2 = _xi_pow(2, 3)   # for c2 of Fp6
+FROB_GAMMA_W = _xi_pow(1, 6)  # for the w coefficient of Fp12
+
+
+def _fp6_frobenius(x: Fp6) -> Fp6:
+    return Fp6(
+        x.c0.frobenius(),
+        x.c1.frobenius() * FROB_GAMMA1,
+        x.c2.frobenius() * FROB_GAMMA2,
+    )
+
+
+class Fp12:
+    """d0 + d1·w over Fp6, with w^2 = v."""
+
+    __slots__ = ("d0", "d1")
+
+    def __init__(self, d0: Fp6, d1: Fp6):
+        self.d0, self.d1 = d0, d1
+
+    ZERO: "Fp12"
+    ONE: "Fp12"
+
+    def __add__(self, o: "Fp12") -> "Fp12":
+        return Fp12(self.d0 + o.d0, self.d1 + o.d1)
+
+    def __sub__(self, o: "Fp12") -> "Fp12":
+        return Fp12(self.d0 - o.d0, self.d1 - o.d1)
+
+    def __neg__(self) -> "Fp12":
+        return Fp12(-self.d0, -self.d1)
+
+    def __mul__(self, o: "Fp12") -> "Fp12":
+        a0, a1 = self.d0, self.d1
+        b0, b1 = o.d0, o.d1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        d0 = t0 + t1.mul_by_v()
+        d1 = (a0 + a1) * (b0 + b1) - t0 - t1
+        return Fp12(d0, d1)
+
+    def square(self) -> "Fp12":
+        return self * self
+
+    def conjugate(self) -> "Fp12":
+        """x -> x^(p^6): negate the w coefficient."""
+        return Fp12(self.d0, -self.d1)
+
+    def inverse(self) -> "Fp12":
+        norm = self.d0 * self.d0 - (self.d1 * self.d1).mul_by_v()
+        inv = norm.inverse()
+        return Fp12(self.d0 * inv, -(self.d1 * inv))
+
+    def frobenius(self) -> "Fp12":
+        d0 = _fp6_frobenius(self.d0)
+        d1 = _fp6_frobenius(self.d1)
+        return Fp12(d0, d1.mul_fp2(FROB_GAMMA_W))
+
+    def pow(self, e: int) -> "Fp12":
+        if e < 0:
+            return self.inverse().pow(-e)
+        result = Fp12.ONE
+        base = self
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    def is_one(self) -> bool:
+        return self == Fp12.ONE
+
+    def __eq__(self, o):
+        return isinstance(o, Fp12) and self.d0 == o.d0 and self.d1 == o.d1
+
+    def __repr__(self):
+        return f"Fp12({self.d0!r}, {self.d1!r})"
+
+
+Fp12.ZERO = Fp12(Fp6.ZERO, Fp6.ZERO)
+Fp12.ONE = Fp12(Fp6.ONE, Fp6.ZERO)

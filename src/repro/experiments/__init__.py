@@ -1,0 +1,17 @@
+"""Experiment harness: one module per table/figure of the paper's §VI.
+
+Each module exposes ``run(fast=True) -> ExperimentResult``; ``fast`` uses
+a reduced design-space grid where the full sweep is expensive (results
+are qualitatively identical; the reduced grids still cover every knob).
+``python -m repro.experiments`` runs everything and prints the tables.
+"""
+
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ExperimentResult"]
+
+ALL_EXPERIMENTS = [
+    "table01", "fig06", "fig07", "fig08", "fig09", "table02",
+    "fig10", "table04", "fig11", "fig12", "table05", "fig13",
+    "fig14", "table06", "table07", "table08", "table09",
+]

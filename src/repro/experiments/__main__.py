@@ -1,0 +1,29 @@
+"""Run every experiment and print its table: ``python -m repro.experiments``.
+
+``--full`` disables the reduced fast grids (slower, finer DSE sweeps).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    fast = "--full" not in argv
+    selected = [a for a in argv if not a.startswith("-")]
+    names = selected or ALL_EXPERIMENTS
+    for name in names:
+        module = importlib.import_module(f"repro.experiments.{name}")
+        t0 = time.time()
+        result = module.run(fast=fast)
+        result.print(max_rows=40)
+        print(f"  [{name} ran in {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,56 @@
+"""Figure 7: fixed SumCheck configuration on high-degree polynomials,
+latency and speedup-over-CPU across bandwidth tiers.
+
+The sweep family is f = q1·w1 + q2·w2 + q3·w1^(d-1)·w2 + qc for
+d = 2..30.  The paper's headline: low-degree polynomials need HBM-scale
+bandwidth for ~1000× speedups, while high-degree polynomials reach
+similar speedups at DDR5-class (256 GB/s) bandwidth, because they do
+more compute on the same data.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import setups
+from repro.experiments.common import ExperimentResult
+from repro.hw.config import SumCheckUnitConfig
+from repro.hw.cpu_baseline import CpuModel
+from repro.hw.memory import BANDWIDTH_TIERS
+from repro.hw.sumcheck_unit import SumCheckUnitModel
+
+#: a high-performance design under the Fig-6 area budget
+FIG7_CONFIG = SumCheckUnitConfig(pes=16, ees_per_pe=4, pls_per_pe=8,
+                                 sram_bank_words=1024)
+
+DEGREES = tuple(range(2, 31))
+
+
+def run(fast: bool = True, num_vars: int = setups.SUMCHECK_NUM_VARS
+        ) -> ExperimentResult:
+    degrees = DEGREES[::3] if fast else DEGREES
+    cpu = CpuModel(threads=4)
+    result = ExperimentResult(
+        name="fig07",
+        title="Fig 7: degree sweep at fixed config (latency ms / speedup)",
+        notes="high degree reaches ~1000x at DDR-class BW; low degree "
+              "needs HBM (paper Fig 7)",
+    )
+    for d in degrees:
+        poly = setups.sweep_profile(d)
+        cpu_s = cpu.sumcheck_seconds(poly, num_vars)
+        row = {"degree": d}
+        for bw in BANDWIDTH_TIERS:
+            model = SumCheckUnitModel(FIG7_CONFIG, bw)
+            lat = model.run(poly, num_vars).latency_s
+            row[f"lat@{bw}"] = lat * 1e3
+            row[f"spd@{bw}"] = cpu_s / lat
+        result.rows.append(row)
+
+    lo_d, hi_d = degrees[0], degrees[-1]
+    lo = result.rows[0]
+    hi = result.rows[-1]
+    # bandwidth sensitivity: ratio of speedup at 4 TB/s vs 256 GB/s
+    result.summary["low-degree BW sensitivity"] = lo["spd@4096"] / lo["spd@256"]
+    result.summary["high-degree BW sensitivity"] = hi["spd@4096"] / hi["spd@256"]
+    result.summary["speedup@256GB/s, max degree"] = hi["spd@256"]
+    result.summary["degrees"] = f"{lo_d}..{hi_d}"
+    return result

@@ -1,0 +1,56 @@
+"""Figure 8: scheduler-induced latency jumps vs polynomial degree for
+2-7 extension engines at fixed bandwidth and product lanes.
+
+Latency climbs in discrete steps whenever the degree crosses a node-count
+boundary of the Figure-2 graph decomposition (e.g. at 6 EEs, the jump
+from degree 6→7 adds a second node), growing only gradually inside each
+node cluster.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import setups
+from repro.experiments.common import ExperimentResult
+from repro.hw.config import SumCheckUnitConfig
+from repro.hw.scheduler import schedule_polynomial
+from repro.hw.sumcheck_unit import SumCheckUnitModel
+
+FIG8_BANDWIDTH = 2048.0
+FIG8_PLS = 5
+EE_RANGE = (2, 3, 4, 5, 6, 7)
+DEGREES = tuple(range(2, 31))
+
+
+def run(fast: bool = True, num_vars: int = 20) -> ExperimentResult:
+    degrees = DEGREES if not fast else DEGREES
+    result = ExperimentResult(
+        name="fig08",
+        title="Fig 8: latency (ms) vs degree per EE count "
+              f"(BW={FIG8_BANDWIDTH:.0f} GB/s, {FIG8_PLS} PLs)",
+        notes="discrete jumps at node-count boundaries of the Fig-2 schedule",
+    )
+    jump_degrees: dict[int, list[int]] = {}
+    for d in degrees:
+        poly = setups.sweep_profile(d)
+        row = {"degree": d}
+        for ees in EE_RANGE:
+            cfg = SumCheckUnitConfig(pes=8, ees_per_pe=ees,
+                                     pls_per_pe=FIG8_PLS,
+                                     sram_bank_words=1024)
+            model = SumCheckUnitModel(cfg, FIG8_BANDWIDTH)
+            row[f"{ees} EEs"] = model.run(poly, num_vars).latency_s * 1e3
+            row[f"steps@{ees}"] = schedule_polynomial(
+                poly, ees, FIG8_PLS).num_steps
+        result.rows.append(row)
+
+    # locate the first node-count jump per EE setting
+    for ees in EE_RANGE:
+        prev = None
+        for row in result.rows:
+            steps = row[f"steps@{ees}"]
+            if prev is not None and steps > prev:
+                jump_degrees.setdefault(ees, []).append(row["degree"])
+            prev = steps
+        if ees in jump_degrees:
+            result.summary[f"first jump @{ees} EEs"] = jump_degrees[ees][0]
+    return result

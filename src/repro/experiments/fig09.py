@@ -1,0 +1,85 @@
+"""Figure 9: comparison with prior ASICs (zkSpeed / zkSpeed+), per
+SumCheck phase, at 2 TB/s and roughly iso-area.
+
+Bars: zkSpeed (Vanilla), zkSpeed+ (Vanilla), zkPHIRE (Vanilla), and
+zkPHIRE with Jellyfish gates at 2×/4×/8× gate-count reductions.  Phases:
+ZeroCheck, PermCheck, OpenCheck, Total.  Paper shape: zkPHIRE ~30%
+slower than zkSpeed+ on Vanilla (programmability tax); Jellyfish 4× is
+enough to beat Vanilla on both; OpenCheck scales directly with the
+reduction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.gates import gate_by_id
+from repro.hw.accelerator import opencheck_profile
+from repro.hw.config import SumCheckUnitConfig
+from repro.hw.scheduler import PolyProfile
+from repro.hw.sumcheck_unit import SumCheckUnitModel
+from repro.hw.zkspeed import ZkSpeedSumCheckModel
+
+FIG9_BANDWIDTH = 2048.0
+FIG9_NUM_VARS = 24
+
+#: roughly iso-zkSpeed-area zkPHIRE SumCheck design (35.24 mm², §VI-A3)
+FIG9_CONFIG = SumCheckUnitConfig(pes=16, ees_per_pe=5, pls_per_pe=6,
+                                 sram_bank_words=1024, fixed_prime=False)
+
+
+def _phases(gate: str):
+    zc = 20 if gate == "vanilla" else 22
+    pc = 21 if gate == "vanilla" else 23
+    return (PolyProfile.from_gate(gate_by_id(zc)),
+            PolyProfile.from_gate(gate_by_id(pc)),
+            opencheck_profile())
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        name="fig09",
+        title="Fig 9: SumCheck phases vs zkSpeed/zkSpeed+ (ms, 2 TB/s)",
+        notes="paper: zkPHIRE ~30% slower than zkSpeed+ on Vanilla; "
+              "Jellyfish 4x outperforms Vanilla everywhere",
+    )
+    v_zc, v_pc, v_oc = _phases("vanilla")
+
+    rows: list[dict] = []
+    for label, model in (
+        ("zkSpeed (Vanilla)", ZkSpeedSumCheckModel(FIG9_BANDWIDTH, plus=False)),
+        ("zkSpeed+ (Vanilla)", ZkSpeedSumCheckModel(FIG9_BANDWIDTH, plus=True)),
+    ):
+        zc = model.latency_s(v_zc, FIG9_NUM_VARS)
+        pc = model.latency_s(v_pc, FIG9_NUM_VARS)
+        oc = model.latency_s(v_oc, FIG9_NUM_VARS)
+        rows.append({"design": label, "ZeroCheck": zc * 1e3,
+                     "PermCheck": pc * 1e3, "OpenCheck": oc * 1e3,
+                     "Total": (zc + pc + oc) * 1e3})
+
+    ours = SumCheckUnitModel(FIG9_CONFIG, FIG9_BANDWIDTH)
+    zc = ours.run(v_zc, FIG9_NUM_VARS).latency_s
+    pc = ours.run(v_pc, FIG9_NUM_VARS).latency_s
+    oc = ours.run(v_oc, FIG9_NUM_VARS, fuse_fr=False).latency_s
+    rows.append({"design": "zkPHIRE (Vanilla)", "ZeroCheck": zc * 1e3,
+                 "PermCheck": pc * 1e3, "OpenCheck": oc * 1e3,
+                 "Total": (zc + pc + oc) * 1e3})
+
+    j_zc, j_pc, j_oc = _phases("jellyfish")
+    for reduction, shift in (("2x", 1), ("4x", 2), ("8x", 3)):
+        mu = FIG9_NUM_VARS - shift
+        zc = ours.run(j_zc, mu).latency_s
+        pc = ours.run(j_pc, mu).latency_s
+        oc = ours.run(j_oc, mu, fuse_fr=False).latency_s
+        rows.append({"design": f"zkPHIRE (Jellyfish {reduction})",
+                     "ZeroCheck": zc * 1e3, "PermCheck": pc * 1e3,
+                     "OpenCheck": oc * 1e3, "Total": (zc + pc + oc) * 1e3})
+
+    result.rows = rows
+    plus_total = rows[1]["Total"]
+    result.summary["zkPHIRE/zkSpeed+ (Vanilla total)"] = (
+        rows[2]["Total"] / plus_total)
+    result.summary["Jellyfish4x vs zkSpeed+ speedup"] = (
+        plus_total / rows[4]["Total"])
+    result.summary["Jellyfish8x vs zkSpeed+ speedup"] = (
+        plus_total / rows[5]["Total"])
+    return result

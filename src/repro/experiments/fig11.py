@@ -1,0 +1,60 @@
+"""Figure 11: area and runtime breakdowns for selected Pareto points.
+
+For the highest-performing design of each top bandwidth tier (the
+paper's A-D), shows the percentage split of area (MSM / Forest /
+SumCheck / memory / PHY / interconnect) and runtime (MSM phases vs
+SumCheck phases).  Paper shape: MSM dominates area everywhere; higher
+bandwidth shifts area and runtime share toward SumCheck.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import fig10, setups
+from repro.experiments.common import ExperimentResult
+from repro.hw.accelerator import ZkPhireModel
+from repro.hw.area import accelerator_area
+
+# A..D are the fastest designs of ascending bandwidth tiers (§VI-B2:
+# "as the bandwidth increases ... from C to D")
+FIG11_TIERS = (512, 1024, 2048, 4096)
+
+
+def run(fast: bool = True, precomputed=None) -> ExperimentResult:
+    if precomputed is None:
+        per_bw, _ = fig10.compute(fast)
+    else:
+        per_bw = precomputed
+    result = ExperimentResult(
+        name="fig11",
+        title="Fig 11: area & runtime breakdowns for Pareto designs A-D (%)",
+        notes="MSM dominates area; SumCheck share grows with bandwidth",
+    )
+    for label, bw in zip("ABCD", FIG11_TIERS):
+        front = per_bw.get(bw)
+        if not front:
+            continue
+        point = min(front, key=lambda p: p.runtime_s)
+        area = accelerator_area(point.config)
+        bd = ZkPhireModel(point.config).breakdown(
+            "jellyfish", setups.PARETO_NUM_VARS)
+        total_area = area.total
+        msm_time = bd.witness_msm + bd.wiring_msm + bd.opening_msm
+        sc_time = bd.zerocheck + bd.permcheck + bd.opencheck
+        other_time = max(bd.total - msm_time - sc_time, 0.0)
+        denom = msm_time + sc_time + other_time
+        result.rows.append({
+            "design": f"{label}@{bw}",
+            "area: MSM %": 100 * area.msm / total_area,
+            "area: Forest %": 100 * area.forest / total_area,
+            "area: SumCheck %": 100 * area.sumcheck / total_area,
+            "area: Mem+PHY %": 100 * (area.sram + area.hbm_phy) / total_area,
+            "rt: MSM %": 100 * msm_time / denom,
+            "rt: SumCheck %": 100 * sc_time / denom,
+            "rt: other %": 100 * other_time / denom,
+        })
+    if len(result.rows) >= 2:
+        result.summary["SumCheck rt share, A (512) -> D (4096)"] = (
+            f"{result.rows[0]['rt: SumCheck %']:.1f}% -> "
+            f"{result.rows[-1]['rt: SumCheck %']:.1f}%"
+        )
+    return result

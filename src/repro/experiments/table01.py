@@ -1,0 +1,25 @@
+"""Table I: the polynomial-constraint library (structural summary)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.gates import TABLE1
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    result = ExperimentResult(
+        name="table01",
+        title="Table I: polynomial constraints (structure)",
+    )
+    for spec in TABLE1:
+        result.rows.append({
+            "id": spec.gate_id,
+            "name": spec.name,
+            "degree": spec.degree,
+            "terms": spec.num_terms,
+            "unique MLEs": spec.num_unique_mles,
+            "scalars": ",".join(spec.compiled.scalar_names) or "-",
+        })
+    result.summary["max degree"] = max(s.degree for s in TABLE1)
+    result.summary["polynomials"] = len(TABLE1)
+    return result

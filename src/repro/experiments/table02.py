@@ -1,0 +1,83 @@
+"""Table II: SumCheck runtimes on CPU, GPU, and zkPHIRE for N = 2^24.
+
+CPU and GPU columns are the paper's measurements (the CPU column also
+shows our calibrated model's prediction); the zkPHIRE column is our
+model at 1 TB/s (matching the A100's ~1.6 TB/s class, as the paper does).
+Paper headline: ~70× over GPU, 600-1100× over CPU; ICICLE cannot run
+polynomials 21-24 (8-unique-MLE limit).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, geomean
+from repro.experiments.fig09 import FIG9_CONFIG
+from repro.gates import gate_by_id
+from repro.hw.cpu_baseline import CpuModel
+from repro.hw.gpu_baseline import GPU_RUNTIMES_MS, gpu_supported
+from repro.hw.scheduler import PolyProfile, TermProfile
+from repro.hw.sumcheck_unit import SumCheckUnitModel
+
+TABLE2_BANDWIDTH = 1024.0
+
+#: (row label, profile builder, num_vars, #sumchecks, measured CPU ms, GPU key)
+def _rows():
+    spartan1 = PolyProfile("spartan1", [
+        TermProfile((("A", 1), ("B", 1), ("f_tau", 1))),
+        TermProfile((("C", 1), ("f_tau", 1))),
+    ])
+    spartan2 = PolyProfile("spartan2", [TermProfile((("SumABC", 1), ("Z", 1)))])
+    abc = PolyProfile("abc", [TermProfile((("A", 1), ("B", 1), ("C", 1)))])
+    hp20_nofr = PolyProfile("hp20", [
+        TermProfile((("qL", 1), ("w1", 1))),
+        TermProfile((("qR", 1), ("w2", 1))),
+        TermProfile((("qO", 1), ("w3", 1))),
+        TermProfile((("qM", 1), ("w1", 1), ("w2", 1))),
+        TermProfile((("qC", 1),)),
+    ])
+    hp = {g: PolyProfile.from_gate(gate_by_id(g)) for g in (21, 22, 23, 24)}
+    return [
+        ("(A*B-C)*f_tau", spartan1, 24, 1, 6770, "spartan1"),
+        ("(SumABC)*Z", spartan2, 25, 1, 5237, "spartan2"),
+        ("A*B*C x12", abc, 24, 12, 60993, "abc_x12"),
+        ("A*B*C x6", abc, 23, 6, 15248, "abc_x6"),
+        ("A*B*C x4", abc, 25, 4, 40662, "abc_x4"),
+        ("HP Poly 20 (-fr)", hp20_nofr, 24, 1, 13354, "hp20"),
+        ("HP Poly 21", hp[21], 24, 1, 21625, None),
+        ("HP Poly 22", hp[22], 24, 1, 74226, None),
+        ("HP Poly 23", hp[23], 24, 1, 32774, None),
+        ("HP Poly 24", hp[24], 24, 1, 17591, None),
+    ]
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    cpu = CpuModel(threads=4)
+    hw = SumCheckUnitModel(FIG9_CONFIG, TABLE2_BANDWIDTH)
+    result = ExperimentResult(
+        name="table02",
+        title="Table II: SumCheck runtimes (ms), N=2^24 class",
+        notes="paper zkPHIRE speedups: 600-1100x CPU, ~70x GPU; GPU '-' "
+              "means ICICLE's 8-unique-MLE limit",
+    )
+    cpu_speedups, gpu_speedups = [], []
+    for label, poly, mu, reps, cpu_ms, gpu_key in _rows():
+        ours_ms = hw.run(poly, mu).latency_s * reps * 1e3
+        model_cpu_ms = cpu.sumcheck_seconds(poly, mu, repeats=reps) * 1e3
+        gpu_ms = GPU_RUNTIMES_MS.get(gpu_key) if gpu_key else None
+        supported = gpu_supported(len(poly.unique_mles))
+        row = {
+            "polynomial": label,
+            "CPU paper (ms)": cpu_ms,
+            "CPU model (ms)": model_cpu_ms,
+            "GPU (ms)": gpu_ms if gpu_ms else "-",
+            "zkPHIRE (ms)": ours_ms,
+            "vs CPU": cpu_ms / ours_ms,
+            "vs GPU": (gpu_ms / ours_ms) if gpu_ms else "-",
+            "ICICLE ok": supported,
+        }
+        cpu_speedups.append(cpu_ms / ours_ms)
+        if gpu_ms:
+            gpu_speedups.append(gpu_ms / ours_ms)
+        result.rows.append(row)
+    result.summary["geomean vs CPU"] = geomean(cpu_speedups)
+    result.summary["geomean vs GPU"] = geomean(gpu_speedups)
+    return result

@@ -1,0 +1,52 @@
+"""Table V: area and power of the 294 mm² zkPHIRE exemplar design."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.hw.area import accelerator_area
+from repro.hw.config import AcceleratorConfig
+from repro.hw.power import accelerator_power
+
+#: the paper's Table V (mm², W)
+PAPER_TABLE5 = {
+    "MSM": (105.69, 58.99),
+    "MultiFunc Forest": (48.18, 40.69),
+    "SumCheck": (16.65, 14.43),
+    "Misc": (10.64, 6.17),
+    "Onchip Mem": (27.55, 3.56),
+    "Interconnect": (26.42, 14.83),
+    "HBM PHY": (59.20, 63.60),
+}
+PAPER_TOTAL = (294.32, 202.28)
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    cfg = AcceleratorConfig.exemplar()
+    area = accelerator_area(cfg)
+    power = accelerator_power(area, cfg.bandwidth_gbps)
+    result = ExperimentResult(
+        name="table05",
+        title="Table V: exemplar area (mm2) and power (W)",
+        notes="paper totals: 294.32 mm2 / 202.28 W",
+    )
+    area_d = area.as_dict()
+    power_d = power.as_dict()
+    power_d["HBM PHY"] = power_d.pop("HBM")
+    for module, (paper_a, paper_w) in PAPER_TABLE5.items():
+        result.rows.append({
+            "module": module,
+            "area (mm2)": area_d[module],
+            "paper area": paper_a,
+            "power (W)": power_d[module],
+            "paper power": paper_w,
+        })
+    result.rows.append({
+        "module": "TOTAL",
+        "area (mm2)": area.total,
+        "paper area": PAPER_TOTAL[0],
+        "power (W)": power.total,
+        "paper power": PAPER_TOTAL[1],
+    })
+    result.summary["area delta %"] = 100 * (area.total / PAPER_TOTAL[0] - 1)
+    result.summary["power delta %"] = 100 * (power.total / PAPER_TOTAL[1] - 1)
+    return result

@@ -1,0 +1,38 @@
+"""Table VII: Jellyfish-gate runtimes and CPU speedups up to 2^30
+nominal constraints (iso-CPU-area design, fixed primes, masking on).
+
+Paper headline: 1486× geomean speedup; scaling to Rollup-1600
+(2^30 nominal / 2^25 Jellyfish gates) and zkEVM (2^27)."""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, geomean
+from repro.hw.accelerator import ZkPhireModel
+from repro.hw.config import AcceleratorConfig
+from repro.workloads import WORKLOADS
+
+
+def run(fast: bool = True) -> ExperimentResult:
+    model = ZkPhireModel(AcceleratorConfig.exemplar())
+    result = ExperimentResult(
+        name="table07",
+        title="Table VII: Jellyfish runtimes vs CPU",
+        notes="paper geomean 1486x; supports 2^30 nominal constraints",
+    )
+    speedups = []
+    for w in WORKLOADS:
+        if w.jellyfish_log2 is None or w.cpu_jellyfish_s is None:
+            continue
+        ours_ms = model.prove_latency_s("jellyfish", w.jellyfish_log2) * 1e3
+        cpu_ms = w.cpu_jellyfish_s * 1e3
+        speedups.append(cpu_ms / ours_ms)
+        result.rows.append({
+            "workload": w.name,
+            "vanilla gates": f"2^{w.vanilla_log2}" if w.vanilla_log2 else "-",
+            "jellyfish gates": f"2^{w.jellyfish_log2}",
+            "CPU (ms)": cpu_ms,
+            "zkPHIRE (ms)": ours_ms,
+            "speedup": cpu_ms / ours_ms,
+        })
+    result.summary["geomean speedup"] = geomean(speedups)
+    return result

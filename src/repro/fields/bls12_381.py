@@ -1,0 +1,48 @@
+"""BLS12-381 field constants.
+
+zkPHIRE (like HyperPlonk and zkSpeed) works over the BLS12-381 pairing
+curve [Bowe17]:
+
+* ``Fr`` — the 255-bit scalar field.  All MLE table entries, witnesses,
+  selectors, and SumCheck traffic are ``Fr`` elements; the paper's 255-bit
+  datapaths (modular multipliers, scratchpad words) correspond to this
+  field.
+* ``Fq`` — the 381-bit base field of the curve.  Elliptic-curve point
+  coordinates (MSM datapaths, PADD units) are ``Fq`` elements.
+
+The curve equation is y^2 = x^3 + 4 over ``Fq``; its G1 group has prime
+order ``FR_MODULUS``.
+"""
+
+from repro.fields.prime_field import PrimeField
+
+#: BLS12-381 scalar-field modulus r (255 bits).
+FR_MODULUS = 0x73EDA753299D7D483339D80809A1D80553BDA402FFFE5BFEFFFFFFFF00000001
+
+#: BLS12-381 base-field modulus q (381 bits).
+FQ_MODULUS = int(
+    "0x1A0111EA397FE69A4B1BA7B6434BACD764774B84F38512BF6730D2A0F6B0F624"
+    "1EABFFFEB153FFFFB9FEFFFFFFFFAAAB",
+    16,
+)
+
+#: The curve parameter x such that r = x^4 - x^2 + 1 (negative for BLS12-381).
+BLS_X = -0xD201000000010000
+
+Fr = PrimeField(FR_MODULUS, "Fr")
+Fq = PrimeField(FQ_MODULUS, "Fq")
+
+#: Curve coefficient b in y^2 = x^3 + b for G1.
+G1_B = 4
+
+#: Canonical G1 generator (affine), from the BLS12-381 specification.
+G1_GENERATOR_X = int(
+    "0x17F1D3A73197D7942695638C4FA9AC0FC3688C4F9774B905A14E3A3F171BAC58"
+    "6C55E83FF97A1AEFFB3AF00ADB22C6BB",
+    16,
+)
+G1_GENERATOR_Y = int(
+    "0x08B3F481E3AAA0F1A09E30ED741D8AE4FCF5E095D5D00AF600DB18CB2C04B3ED"
+    "D03CC744A2888AE40CAA232946C5E7E1",
+    16,
+)

@@ -1,0 +1,43 @@
+"""Gate expressions: the custom-gate language and the Table I library.
+
+zkPHIRE's headline capability is running SumCheck over *arbitrary*
+composite polynomials — custom, high-degree gates in the style of Halo2
+and HyperPlonk's Jellyfish gate (§II-C2).  This package provides
+
+* :mod:`~repro.gates.expr` — a small symbolic expression language
+  (variables = MLEs, symbolic scalars, +, −, ×, powers),
+* :mod:`~repro.gates.compiler` — expansion of an expression into the
+  sum-of-products :class:`~repro.mle.virtual.Term` form SumCheck consumes,
+* :mod:`~repro.gates.library` — all 25 polynomial constraints of the
+  paper's Table I, plus the parametric high-degree family used by the
+  degree-sweep experiments (Figs. 7, 8, 14).
+"""
+
+from repro.gates.expr import Const, Expr, Prod, Pow, Scalar, Sum, Var
+from repro.gates.compiler import CompiledGate, compile_expr
+from repro.gates.library import (
+    GateSpec,
+    TABLE1,
+    gate_by_id,
+    high_degree_sweep_gate,
+    jellyfish_zerocheck_expr,
+    vanilla_zerocheck_expr,
+)
+
+__all__ = [
+    "Const",
+    "Expr",
+    "Prod",
+    "Pow",
+    "Scalar",
+    "Sum",
+    "Var",
+    "CompiledGate",
+    "compile_expr",
+    "GateSpec",
+    "TABLE1",
+    "gate_by_id",
+    "high_degree_sweep_gate",
+    "jellyfish_zerocheck_expr",
+    "vanilla_zerocheck_expr",
+]

@@ -1,0 +1,146 @@
+"""Symbolic gate-expression AST.
+
+Circuit designers describe custom gates as algebraic expressions over
+multilinear polynomials (Halo2-style).  This module gives that language
+operator syntax::
+
+    qadd, a, b = Var("qadd"), Var("a"), Var("b")
+    gate = qadd * (a + b) + Var("qmul") * (a * b)
+
+Node kinds:
+
+* :class:`Var` — a constituent MLE (selector, witness, eq table, ...),
+* :class:`Scalar` — a symbolic field scalar bound at proving time (e.g.
+  the batching challenge α in PermCheck),
+* :class:`Const` — an integer constant,
+* :class:`Sum`, :class:`Prod`, :class:`Pow` — the algebra.
+
+Expressions are immutable; arithmetic builds trees which
+:func:`repro.gates.compiler.compile_expr` expands to sum-of-products form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+class Expr:
+    """Base class for gate-expression nodes."""
+
+    def _as_expr(self, other) -> "Expr":
+        if isinstance(other, Expr):
+            return other
+        if isinstance(other, int):
+            return Const(other)
+        return NotImplemented
+
+    def __add__(self, other):
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return Sum((self, o))
+
+    def __radd__(self, other):
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return Sum((o, self))
+
+    def __sub__(self, other):
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return Sum((self, Prod((Const(-1), o))))
+
+    def __rsub__(self, other):
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return Sum((o, Prod((Const(-1), self))))
+
+    def __mul__(self, other):
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return Prod((self, o))
+
+    def __rmul__(self, other):
+        o = self._as_expr(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return Prod((o, self))
+
+    def __neg__(self):
+        return Prod((Const(-1), self))
+
+    def __pow__(self, exponent: int):
+        if not isinstance(exponent, int) or exponent < 0:
+            raise ValueError("exponents must be non-negative integers")
+        return Pow(self, exponent)
+
+
+class Var(Expr):
+    """A constituent multilinear polynomial, referenced by name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return self.name
+
+
+class Scalar(Expr):
+    """A symbolic field scalar (degree 0), bound when the gate is used."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self):
+        return f"${self.name}"
+
+
+class Const(Expr):
+    """An integer constant coefficient."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __repr__(self):
+        return str(self.value)
+
+
+class Sum(Expr):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Expr]):
+        self.children = tuple(children)
+
+    def __repr__(self):
+        return "(" + " + ".join(map(repr, self.children)) + ")"
+
+
+class Prod(Expr):
+    __slots__ = ("children",)
+
+    def __init__(self, children: Iterable[Expr]):
+        self.children = tuple(children)
+
+    def __repr__(self):
+        return "*".join(map(repr, self.children))
+
+
+class Pow(Expr):
+    __slots__ = ("base", "exponent")
+
+    def __init__(self, base: Expr, exponent: int):
+        self.base = base
+        self.exponent = exponent
+
+    def __repr__(self):
+        return f"{self.base!r}^{self.exponent}"

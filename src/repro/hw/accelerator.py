@@ -1,0 +1,210 @@
+"""Full-protocol zkPHIRE model: the five HyperPlonk steps on hardware.
+
+Composes the per-module models into an end-to-end prover latency with
+the paper's schedule (§IV-A), including the Masking-ZeroCheck
+optimization: Gate Identity's ZeroCheck runs concurrently with the Wire
+Identity MSMs (MSMs dominate and have low bandwidth pressure, so the
+overlap hides ZeroCheck latency almost entirely).
+
+MSM inventory per proof (§IV-B3): one sparse MSM per witness column
+(5 for Jellyfish, 3 for Vanilla); dense MSMs for φ and the (2N-entry)
+product tree during Wire Identity; and dense MSM work for the final
+batched openings (combined-polynomial quotients ≈ N, product-tree
+quotients ≈ 2N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gates.library import gate_by_id
+from repro.hw.config import AcceleratorConfig
+from repro.hw.forest import ForestModel
+from repro.hw.mle_combine import MLECombineModel
+from repro.hw.msm_unit import MSMUnitModel
+from repro.hw.permquot import PermQuotModel
+from repro.hw.scheduler import PolyProfile, TermProfile
+from repro.hw.sumcheck_unit import SumCheckUnitModel
+from repro.hyperplonk.circuit import GateType, JELLYFISH, VANILLA
+
+
+@dataclass
+class ProtocolBreakdown:
+    """Per-step latencies (seconds)."""
+
+    witness_msm: float
+    zerocheck: float
+    permquot: float
+    prod_tree: float
+    wiring_msm: float
+    permcheck: float
+    batch_evals: float
+    mle_combine: float
+    opencheck: float
+    opening_msm: float
+    masked: bool
+
+    @property
+    def wire_msm_phase(self) -> float:
+        """PermQuot streams into the MSM unit (Fig 5: one-way transfer),
+        so generation and the φ/π̃ commitment MSMs overlap."""
+        return max(self.permquot + self.prod_tree, self.wiring_msm)
+
+    @property
+    def wire_identity(self) -> float:
+        return self.wire_msm_phase + self.permcheck
+
+    @property
+    def batch_and_open(self) -> float:
+        """The final opening MSMs overlap the OpenCheck SumCheck (the
+        quotient streams feed the MSM unit as they are produced)."""
+        return (self.batch_evals + self.mle_combine
+                + max(self.opencheck, self.opening_msm))
+
+    @property
+    def total(self) -> float:
+        serial = (self.witness_msm + self.wire_identity + self.batch_and_open)
+        if self.masked:
+            # ZeroCheck overlaps the Wire-Identity MSM phase (masking,
+            # §IV-A): only its excess over that phase is exposed
+            exposed_zc = max(0.0, self.zerocheck - self.wire_msm_phase)
+            return serial + exposed_zc
+        return serial + self.zerocheck
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "Witness MSM": self.witness_msm,
+            "ZeroCheck": self.zerocheck,
+            "PermQuot": self.permquot,
+            "Prod Tree": self.prod_tree,
+            "Wiring MSM": self.wiring_msm,
+            "PermCheck": self.permcheck,
+            "Batch Evals": self.batch_evals,
+            "MLE Combine": self.mle_combine,
+            "OpenCheck": self.opencheck,
+            "PolyOpen MSM": self.opening_msm,
+        }
+
+
+def gate_type_by_name(name: str) -> GateType:
+    if name == "vanilla":
+        return VANILLA
+    if name == "jellyfish":
+        return JELLYFISH
+    raise ValueError(f"unknown gate type {name!r}")
+
+
+#: distinct opening points in the protocol (Table I row 24 has six
+#: y_i · fr_i terms; polynomials opened at the same point are first
+#: random-linear-combined by the MLE Combine module)
+OPENCHECK_POINTS = 6
+
+
+def opencheck_profile(num_points: int = OPENCHECK_POINTS) -> PolyProfile:
+    """Table I row 24: Σ_i y_i(x) · eq_i(x) over the distinct opening
+    points, degree 2.  y_i is the pre-combined polynomial for point i."""
+    terms = [
+        TermProfile(((f"y{i}", 1), (f"fr{i}", 1))) for i in range(num_points)
+    ]
+    return PolyProfile(name=f"opencheck-{num_points}", terms=terms)
+
+
+class ZkPhireModel:
+    """End-to-end prover-latency model for one zkPHIRE design point."""
+
+    def __init__(self, config: AcceleratorConfig):
+        self.config = config
+        bw, f = config.bandwidth_gbps, config.freq_ghz
+        self.sumcheck = SumCheckUnitModel(config.sumcheck, bw, f)
+        self.msm = MSMUnitModel(config.msm, bw, f)
+        self.forest = ForestModel(config.forest, bw, f)
+        self.permquot = PermQuotModel(config.permquot, bw, f)
+        self.mle_combine = MLECombineModel(bw, f)
+
+    # -- polynomial profiles --------------------------------------------------
+    def _zerocheck_profile(self, gate_type: GateType) -> PolyProfile:
+        return PolyProfile.from_gate(gate_by_id(gate_type.zerocheck_gate_id))
+
+    def _permcheck_profile(self, gate_type: GateType) -> PolyProfile:
+        return PolyProfile.from_gate(gate_by_id(gate_type.permcheck_gate_id))
+
+    def _num_claims(self, gate_type: GateType) -> int:
+        k = gate_type.num_witnesses
+        selectors = len(gate_type.selector_names)
+        # gate point: selectors + witnesses; perm point: w, σ, φ
+        return selectors + k + (2 * k + 1)
+
+    # -- the model ---------------------------------------------------------------
+    def breakdown(self, gate_type_name: str, num_vars: int,
+                  custom_zerocheck: PolyProfile | None = None) -> ProtocolBreakdown:
+        """Model a full proof for 2^num_vars gates.
+
+        ``custom_zerocheck`` substitutes the Gate-Identity polynomial
+        (used by the high-degree sweep, Fig 14).
+        """
+        gate_type = gate_type_by_name(gate_type_name)
+        n = 1 << num_vars
+        k = gate_type.num_witnesses
+
+        witness_msm = sum(
+            self.msm.latency_s(n, sparse=True) for _ in range(k)
+        )
+
+        zc_profile = custom_zerocheck or self._zerocheck_profile(gate_type)
+        zerocheck = self.sumcheck.run(zc_profile, num_vars).latency_s
+
+        pq = self.permquot.run(n, k)
+        tree = self.forest.product_tree(n)
+        wiring_msm = (self.msm.latency_s(n, sparse=False)
+                      + self.msm.latency_s(2 * n, sparse=False))
+        permcheck = self.sumcheck.run(
+            self._permcheck_profile(gate_type), num_vars
+        ).latency_s
+
+        claims = self._num_claims(gate_type)
+        batch = self.forest.batch_eval(claims, n)
+        combine = self.mle_combine.run(n, streams=claims)
+        oc_profile = opencheck_profile()
+        opencheck = self.sumcheck.run(oc_profile, num_vars,
+                                      fuse_fr=False).latency_s
+        opening_msm = (self.msm.latency_s(n, sparse=False)
+                       + self.msm.latency_s(2 * n, sparse=False))
+
+        return ProtocolBreakdown(
+            witness_msm=witness_msm,
+            zerocheck=zerocheck,
+            permquot=pq.latency_s,
+            prod_tree=tree.latency_s,
+            wiring_msm=wiring_msm,
+            permcheck=permcheck,
+            batch_evals=batch.latency_s,
+            mle_combine=combine.latency_s,
+            opencheck=opencheck,
+            opening_msm=opening_msm,
+            masked=self.config.mask_zerocheck,
+        )
+
+    def prove_latency_s(self, gate_type_name: str, num_vars: int,
+                        custom_zerocheck: PolyProfile | None = None) -> float:
+        return self.breakdown(gate_type_name, num_vars,
+                              custom_zerocheck).total
+
+
+def proof_size_bytes(gate_type_name: str, num_vars: int) -> int:
+    """Analytic proof-size model (Table IX's 4-5 KB column).
+
+    HyperPlonk batches the gate and wire identities into one SumCheck
+    over a random combination, so the proof carries a single μ-round
+    SumCheck at the maximum degree plus the degree-2 OpenCheck; round
+    polynomials are sent as d coefficients (one is implied by the running
+    claim).  Commitments and quotients are 48-byte compressed G1 points.
+    """
+    gate_type = gate_type_by_name(gate_type_name)
+    zc_d = gate_by_id(gate_type.zerocheck_gate_id).degree
+    pc_d = gate_by_id(gate_type.permcheck_gate_id).degree
+    batched_d = max(zc_d, pc_d)
+    commits = gate_type.num_witnesses + 2            # witnesses + φ + π̃
+    sumcheck_scalars = num_vars * batched_d          # OpenCheck folds in
+    final_evals = len(gate_type.selector_names) + 2 * gate_type.num_witnesses + 4
+    openings = 48 * num_vars + 2 * 32                # one batched KZG opening
+    return (48 * commits + 32 * (sumcheck_scalars + final_evals) + openings)

@@ -1,0 +1,243 @@
+"""Design-space exploration (§VI-A1 objective, §VI-B1 Pareto frontiers).
+
+Two DSE entry points:
+
+* :func:`sumcheck_dse` — the standalone SumCheck-unit search of Fig 6:
+  pick, per bandwidth tier and area budget, the configuration minimizing
+  (1-λ)·geomean-slowdown + λ·(1-mean-utilization) over a polynomial
+  training set (λ = 0.8 in the paper).
+* :func:`accelerator_dse` — the full-system sweep of Table III for
+  Fig 10/Table IV.  The sweep is factored: SumCheck-side and MSM-side
+  configurations are pruned to their own latency/area Pareto sets first,
+  then crossed — this preserves the global Pareto frontier because the
+  two groups contribute additively (and the masking max() only ever
+  shrinks with faster components).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from math import exp, log
+from typing import Iterable, Sequence
+
+from repro.hw import area as area_model
+from repro.hw.accelerator import ZkPhireModel
+from repro.hw.config import (
+    AcceleratorConfig,
+    ForestConfig,
+    MSMUnitConfig,
+    SumCheckUnitConfig,
+)
+from repro.hw.scheduler import PolyProfile
+from repro.hw.sumcheck_unit import SumCheckUnitModel
+
+# Table III knob values
+SC_PES = (1, 2, 4, 8, 16, 32)
+SC_EES = (2, 3, 4, 5, 6, 7)
+SC_PLS = (3, 4, 5, 6, 7, 8)
+SC_SRAM = (1024, 2048, 4096, 8192, 16384, 32768)
+MSM_PES = (1, 2, 4, 8, 16, 32)
+MSM_WINDOWS = (7, 8, 9, 10)
+MSM_POINTS = (1024, 2048, 4096, 8192, 16384)
+BANDWIDTHS = (64, 128, 256, 512, 1024, 2048, 4096)
+
+
+def geomean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geomean of empty sequence")
+    return exp(sum(log(max(v, 1e-300)) for v in values) / len(values))
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated design: a config plus its metrics."""
+
+    config: AcceleratorConfig
+    runtime_s: float
+    area_mm2: float
+    extras: dict = field(default_factory=dict)
+
+
+def pareto_frontier(points: Iterable[DesignPoint]) -> list[DesignPoint]:
+    """Minimize (runtime, area): keep points no other point dominates."""
+    pts = sorted(points, key=lambda p: (p.runtime_s, p.area_mm2))
+    frontier: list[DesignPoint] = []
+    best_area = float("inf")
+    for p in pts:
+        if p.area_mm2 < best_area - 1e-12:
+            frontier.append(p)
+            best_area = p.area_mm2
+    return frontier
+
+
+# -- Fig 6: standalone SumCheck DSE -------------------------------------------
+
+@dataclass
+class SumCheckDesign:
+    config: SumCheckUnitConfig
+    bandwidth_gbps: float
+    area_mm2: float
+    latencies: dict[str, float]
+    utilizations: dict[str, float]
+    objective: float = 0.0
+
+    @property
+    def mean_utilization(self) -> float:
+        u = list(self.utilizations.values())
+        return sum(u) / len(u)
+
+
+def enumerate_sumcheck_configs(
+    area_budget_mm2: float,
+    pes=SC_PES, ees=SC_EES, pls=SC_PLS, sram=SC_SRAM,
+    fixed_prime: bool = True,
+) -> list[SumCheckUnitConfig]:
+    """All Table III SumCheck configs under the area budget."""
+    out = []
+    for p, e, l, s in product(pes, ees, pls, sram):
+        cfg = SumCheckUnitConfig(pes=p, ees_per_pe=e, pls_per_pe=l,
+                                 sram_bank_words=s, fixed_prime=fixed_prime)
+        if area_model.standalone_sumcheck_area(cfg, 0.0) <= area_budget_mm2:
+            out.append(cfg)
+    return out
+
+
+def sumcheck_dse(
+    polys: Sequence[tuple[str, PolyProfile, int]],
+    area_budget_mm2: float,
+    bandwidth_gbps: float,
+    lam: float = 0.8,
+    configs: Sequence[SumCheckUnitConfig] | None = None,
+    freq_ghz: float = 1.0,
+) -> SumCheckDesign:
+    """Pick the best standalone SumCheck design at one bandwidth tier.
+
+    ``polys``: (name, profile, num_vars) training set.
+    Objective: (1-λ)·geomean slowdown-vs-per-poly-best + λ·(1-mean util).
+    """
+    configs = list(configs) if configs is not None else \
+        enumerate_sumcheck_configs(area_budget_mm2)
+    if not configs:
+        raise ValueError("no configuration fits the area budget")
+
+    evaluated: list[SumCheckDesign] = []
+    for cfg in configs:
+        model = SumCheckUnitModel(cfg, bandwidth_gbps, freq_ghz)
+        lat, util = {}, {}
+        for name, poly, num_vars in polys:
+            run = model.run(poly, num_vars)
+            lat[name] = run.latency_s
+            util[name] = run.utilization
+        evaluated.append(SumCheckDesign(
+            config=cfg, bandwidth_gbps=bandwidth_gbps,
+            area_mm2=area_model.standalone_sumcheck_area(cfg, bandwidth_gbps),
+            latencies=lat, utilizations=util,
+        ))
+
+    best_per_poly = {
+        name: min(d.latencies[name] for d in evaluated)
+        for name, _, _ in polys
+    }
+    best: SumCheckDesign | None = None
+    for d in evaluated:
+        slowdowns = [d.latencies[n] / best_per_poly[n] for n in best_per_poly]
+        d.objective = ((1.0 - lam) * geomean(slowdowns)
+                       + lam * (1.0 - d.mean_utilization))
+        if best is None or d.objective < best.objective:
+            best = d
+    assert best is not None
+    return best
+
+
+# -- Fig 10 / Table IV: full-accelerator DSE -------------------------------------
+
+def _module_pareto(points: list[tuple[float, float, object]]) -> list[tuple[float, float, object]]:
+    """Pareto-minimal (latency, area, payload) triples."""
+    pts = sorted(points, key=lambda t: (t[0], t[1]))
+    out: list[tuple[float, float, object]] = []
+    best_area = float("inf")
+    for lat, a, payload in pts:
+        if a < best_area - 1e-12:
+            out.append((lat, a, payload))
+            best_area = a
+    return out
+
+
+def accelerator_dse(
+    gate_type_name: str,
+    num_vars: int,
+    bandwidth_gbps: float,
+    sc_grid: Iterable[SumCheckUnitConfig] | None = None,
+    msm_grid: Iterable[MSMUnitConfig] | None = None,
+    mask_zerocheck: bool = True,
+) -> list[DesignPoint]:
+    """Evaluate the Table III grid at one bandwidth; returns all points
+    after factored pruning (see module docstring)."""
+    if sc_grid is None:
+        sc_grid = [
+            SumCheckUnitConfig(pes=p, ees_per_pe=e, pls_per_pe=l,
+                               sram_bank_words=s)
+            for p, e, l, s in product(SC_PES, SC_EES, SC_PLS, SC_SRAM)
+        ]
+    if msm_grid is None:
+        msm_grid = [
+            MSMUnitConfig(pes=p, window_bits=w, points_per_pe=pp)
+            for p, w, pp in product(MSM_PES, MSM_WINDOWS, MSM_POINTS)
+        ]
+
+    # -- prune the SumCheck side: latency proxy = sum of its 3 SumChecks ---
+    sc_points = []
+    for cfg in sc_grid:
+        acc = AcceleratorConfig(sumcheck=cfg, bandwidth_gbps=bandwidth_gbps,
+                                mask_zerocheck=mask_zerocheck)
+        model = ZkPhireModel(acc)
+        bd = model.breakdown(gate_type_name, num_vars)
+        sc_lat = bd.zerocheck + bd.permcheck + bd.opencheck
+        sc_area = (area_model.sumcheck_area(cfg)
+                   + area_model.forest_area(acc.forest))
+        sc_points.append((sc_lat, sc_area, cfg))
+    sc_pruned = _module_pareto(sc_points)
+
+    # -- prune the MSM side -------------------------------------------------
+    msm_points = []
+    gate_type_k = 5 if gate_type_name == "jellyfish" else 3
+    n = 1 << num_vars
+    from repro.hw.msm_unit import MSMUnitModel
+
+    for cfg in msm_grid:
+        m = MSMUnitModel(cfg, bandwidth_gbps)
+        lat = (gate_type_k * m.latency_s(n, sparse=True)
+               + 2 * (m.latency_s(n) + m.latency_s(2 * n)))
+        msm_points.append((lat, area_model.msm_area(cfg), cfg))
+    msm_pruned = _module_pareto(msm_points)
+
+    # -- cross the survivors --------------------------------------------------
+    out: list[DesignPoint] = []
+    for _, _, sc_cfg in sc_pruned:
+        for _, _, msm_cfg in msm_pruned:
+            acc = AcceleratorConfig(sumcheck=sc_cfg, msm=msm_cfg,
+                                    bandwidth_gbps=bandwidth_gbps,
+                                    mask_zerocheck=mask_zerocheck)
+            model = ZkPhireModel(acc)
+            runtime = model.prove_latency_s(gate_type_name, num_vars)
+            breakdown = area_model.accelerator_area(acc)
+            out.append(DesignPoint(config=acc, runtime_s=runtime,
+                                   area_mm2=breakdown.total))
+    return out
+
+
+def global_pareto(
+    gate_type_name: str,
+    num_vars: int,
+    bandwidths: Sequence[float] = BANDWIDTHS,
+    **kwargs,
+) -> tuple[dict[float, list[DesignPoint]], list[DesignPoint]]:
+    """Per-bandwidth Pareto curves plus the global frontier (Fig 10)."""
+    per_bw: dict[float, list[DesignPoint]] = {}
+    everything: list[DesignPoint] = []
+    for bw in bandwidths:
+        points = accelerator_dse(gate_type_name, num_vars, bw, **kwargs)
+        per_bw[bw] = pareto_frontier(points)
+        everything.extend(per_bw[bw])
+    return per_bw, pareto_frontier(everything)

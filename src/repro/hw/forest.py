@@ -1,0 +1,77 @@
+"""The Multifunction Forest model (§IV-B2, [41]).
+
+A forest of binary-tree units; each tree has M fully-pipelined 255-bit
+multipliers and consumes 2M leaf operands per cycle at the base level,
+with upper levels overlapped in the pipeline.  The same multipliers are
+time-shared between (a) SumCheck product lanes and (b) tree kernels:
+
+* **product MLE** (π̃) construction — N-1 multiplies over 2N leaves,
+* **MLE evaluation** — folding a 2^μ table by a point, ~N multiplies,
+* **Build MLE** — materializing eq(x, r), ~2N multiplies (only used by
+  the zkSpeed comparator; zkPHIRE fuses this into SumCheck round 1).
+
+Throughput model: a kernel needing W multiplies on a forest with C total
+multipliers takes ceil(W / C) + depth cycles, bounded by memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+
+from repro.hw import memory, tech
+from repro.hw.config import ForestConfig
+
+FOREST_FILL_CYCLES = 128
+
+
+@dataclass
+class ForestRun:
+    kernel: str
+    multiplies: float
+    cycles: float
+    bytes_moved: float
+    latency_s: float
+
+
+class ForestModel:
+    def __init__(self, config: ForestConfig, bandwidth_gbps: float,
+                 freq_ghz: float = 1.0):
+        self.config = config
+        self.bandwidth_gbps = bandwidth_gbps
+        self.freq_hz = freq_ghz * 1e9
+
+    def _run(self, kernel: str, multiplies: float, bytes_moved: float,
+             depth_hint: float = 0.0) -> ForestRun:
+        capacity = self.config.total_multipliers
+        cycles = ceil(multiplies / capacity) + depth_hint + FOREST_FILL_CYCLES
+        mem_s = memory.transfer_seconds(bytes_moved, self.bandwidth_gbps)
+        latency = max(cycles / self.freq_hz, mem_s)
+        return ForestRun(kernel=kernel, multiplies=multiplies, cycles=cycles,
+                         bytes_moved=bytes_moved, latency_s=latency)
+
+    def product_tree(self, num_leaves: int) -> ForestRun:
+        """Build π̃ from 2^μ fraction leaves: N-1 muls, read N, write 2N."""
+        muls = num_leaves - 1
+        traffic = 3.0 * num_leaves * tech.FR_BYTES
+        return self._run("product_tree", muls, traffic, depth_hint=log2(max(num_leaves, 2)))
+
+    def mle_eval(self, table_entries: int) -> ForestRun:
+        """Evaluate a committed MLE at a point: fold, ~N muls, read N."""
+        muls = table_entries - 1
+        traffic = float(table_entries * tech.FR_BYTES)
+        return self._run("mle_eval", muls, traffic, depth_hint=log2(max(table_entries, 2)))
+
+    def batch_eval(self, num_polys: int, table_entries: int) -> ForestRun:
+        """The Batch Evaluations protocol step: fold every committed MLE."""
+        muls = num_polys * (table_entries - 1)
+        traffic = float(num_polys * table_entries * tech.FR_BYTES)
+        return self._run("batch_eval", muls, traffic,
+                         depth_hint=log2(max(table_entries, 2)))
+
+    def build_mle(self, table_entries: int) -> ForestRun:
+        """Materialize eq(x, r): ~2N muls, write N (zkSpeed's extra pass)."""
+        muls = 2.0 * table_entries
+        traffic = float(table_entries * tech.FR_BYTES)
+        return self._run("build_mle", muls, traffic,
+                         depth_hint=log2(max(table_entries, 2)))

@@ -1,0 +1,28 @@
+"""GPU baseline: the paper's measured A100/ICICLE SumCheck runtimes.
+
+Table II measurements (NVIDIA A100 40 GB, 1.6 TB/s, ICICLE [23]).
+ICICLE supports at most eight unique constituent MLEs per composite
+polynomial, so HyperPlonk polynomials 21-24 have no GPU entry — the
+programmability gap zkPHIRE closes (§VI-A4).
+"""
+
+from __future__ import annotations
+
+#: Table II GPU column, milliseconds, keyed like the experiment rows
+GPU_RUNTIMES_MS: dict[str, float] = {
+    "spartan1": 571.0,          # (A·B - C)·f_tau, 2^24
+    "spartan2": 586.0,          # (Sum_ABC)·Z, 2^25
+    "abc_x12": 5376.0,          # A·B·C × 12 SumChecks, 2^24
+    "abc_x6": 1440.0,           # A·B·C × 6, 2^23
+    "abc_x4": 3460.0,           # A·B·C × 4, 2^25
+    "hp20": 1089.0,             # Vanilla gate portion of poly 20 (no fr)
+}
+
+#: polynomials ICICLE cannot express (more than 8 unique MLEs)
+GPU_UNSUPPORTED: tuple[str, ...] = ("hp21", "hp22", "hp23", "hp24")
+
+ICICLE_MAX_UNIQUE_MLES = 8
+
+
+def gpu_supported(num_unique_mles: int) -> bool:
+    return num_unique_mles <= ICICLE_MAX_UNIQUE_MLES

@@ -1,0 +1,52 @@
+"""The MLE Combine module model (§IV-B4).
+
+Element-wise operations and dot products between MLE tables and stored
+challenges, used before and after the OpenCheck (e.g. forming the random
+linear combination the final opening commits to).  Fully pipelined:
+one element per cycle per lane, with up to 6 SRAM-buffered operand
+streams; in practice the step is bandwidth-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import memory, tech
+
+MLE_COMBINE_LANES = 6
+#: total multiply-accumulate throughput (elements/cycle): the shared bus
+#: feeds the combine datapath at up to 64 elements per cycle, matching
+#: the multi-TB/s on-chip bandwidth (§IV-B6)
+MLE_COMBINE_ELEMS_PER_CYCLE = 64
+MLE_COMBINE_WARMUP = 64
+
+
+@dataclass
+class MLECombineRun:
+    elements: int
+    streams: int
+    cycles: float
+    bytes_moved: float
+    latency_s: float
+
+
+class MLECombineModel:
+    def __init__(self, bandwidth_gbps: float, freq_ghz: float = 1.0):
+        self.bandwidth_gbps = bandwidth_gbps
+        self.freq_hz = freq_ghz * 1e9
+
+    def run(self, elements: int, streams: int = 2,
+            writes_result: bool = True) -> MLECombineRun:
+        """Combine ``streams`` tables of ``elements`` entries element-wise."""
+        if streams < 1:
+            raise ValueError("need at least one operand stream")
+        cycles = (elements * streams / MLE_COMBINE_ELEMS_PER_CYCLE
+                  + MLE_COMBINE_WARMUP)
+        bytes_moved = elements * tech.FR_BYTES * (
+            streams + (1 if writes_result else 0)
+        )
+        mem_s = memory.transfer_seconds(bytes_moved, self.bandwidth_gbps)
+        latency = max(cycles / self.freq_hz, mem_s)
+        return MLECombineRun(elements=elements, streams=streams,
+                             cycles=cycles, bytes_moved=bytes_moved,
+                             latency_s=latency)

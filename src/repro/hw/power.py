@@ -1,0 +1,59 @@
+"""Power model: per-module W/mm² densities derived from Table V.
+
+Average power = module area × the power density the paper's exemplar
+exhibits for that module class, plus a fixed per-PHY HBM power.  This
+reproduces Table V's power column by construction at the exemplar and
+extrapolates proportionally elsewhere (the paper's own power numbers are
+synthesis-tool averages, so density-scaling is the faithful model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw import memory, tech
+from repro.hw.area import AreaBreakdown
+
+
+@dataclass
+class PowerBreakdown:
+    msm: float
+    forest: float
+    sumcheck: float
+    other: float
+    sram: float
+    interconnect: float
+    hbm: float
+
+    @property
+    def compute(self) -> float:
+        return self.msm + self.forest + self.sumcheck + self.other
+
+    @property
+    def total(self) -> float:
+        return self.compute + self.sram + self.interconnect + self.hbm
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "MSM": self.msm,
+            "MultiFunc Forest": self.forest,
+            "SumCheck": self.sumcheck,
+            "Misc": self.other,
+            "Onchip Mem": self.sram,
+            "Interconnect": self.interconnect,
+            "HBM": self.hbm,
+        }
+
+
+def accelerator_power(area: AreaBreakdown, bandwidth_gbps: float) -> PowerBreakdown:
+    d = tech.POWER_DENSITY
+    _, phy_count, _ = memory.phy_plan(bandwidth_gbps)
+    return PowerBreakdown(
+        msm=area.msm * d["msm"],
+        forest=area.forest * d["forest"],
+        sumcheck=area.sumcheck * d["sumcheck"],
+        other=area.other * d["other"],
+        sram=area.sram * d["sram"],
+        interconnect=area.interconnect * d["interconnect"],
+        hbm=phy_count * tech.HBM_PHY_WATTS,
+    )

@@ -1,0 +1,212 @@
+"""The automated SumCheck scheduler (paper §III-C/E, Figure 2).
+
+Given a composite polynomial and a hardware shape (E extension engines, P
+product lanes per PE), the scheduler decomposes each term into *nodes*.
+A node consumes at most E factor streams per product-lane input port —
+the first node of a term takes up to E factors, every subsequent node
+takes E-1 new factors plus the running partial product from the Tmp MLE
+buffer (the accumulation schedule on the right of Figure 2, which needs
+only one Tmp buffer regardless of degree).
+
+Factor slots count *multiplicity* (w^5 occupies five lane ports) while
+fetch/update work counts *distinct* MLEs (a repeated MLE is extended once
+and its value reused — the data-reuse §III-A highlights).
+
+The lane schedule maps the K = d+1 extension points onto P lanes with
+initiation interval ceil(K / P), queueing the overflow in delay buffers
+(§III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil
+from typing import Sequence
+
+from repro.gates.compiler import CompiledGate
+from repro.gates.library import GateSpec
+
+#: reserved name of the ZeroCheck randomizer
+FR_NAME = "fr"
+
+
+@dataclass(frozen=True)
+class TermProfile:
+    """One product term: (mle name, power) factors."""
+
+    factors: tuple[tuple[str, int], ...]
+
+    @property
+    def degree(self) -> int:
+        return sum(p for _, p in self.factors)
+
+    @property
+    def distinct(self) -> int:
+        return len(self.factors)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.factors)
+
+
+@dataclass
+class PolyProfile:
+    """The scheduler's view of a composite polynomial.
+
+    ``mle_classes`` maps each constituent MLE to a storage class used by
+    the round-1 traffic model: ``selector`` (0/1 bitstream), ``sparse``
+    (~90% zero/one witness data, offset-buffer encoded), or ``dense``.
+    """
+
+    name: str
+    terms: list[TermProfile]
+    mle_classes: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for t in self.terms:
+            for n, _ in t.factors:
+                self.mle_classes.setdefault(n, "dense")
+
+    @property
+    def degree(self) -> int:
+        return max(t.degree for t in self.terms)
+
+    @property
+    def unique_mles(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for t in self.terms:
+            for n, _ in t.factors:
+                seen.setdefault(n)
+        return list(seen)
+
+    @property
+    def has_fr(self) -> bool:
+        return FR_NAME in self.unique_mles
+
+    @classmethod
+    def from_gate(cls, spec: GateSpec) -> "PolyProfile":
+        return cls.from_compiled(spec.compiled, selector_names=spec.selector_names)
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledGate,
+                      selector_names: Sequence[str] = ()) -> "PolyProfile":
+        terms = [TermProfile(m.factors) for m in compiled.monomials]
+        classes: dict[str, str] = {}
+        for name in compiled.mle_names:
+            if name == FR_NAME:
+                classes[name] = "dense"
+            elif name in selector_names:
+                classes[name] = "selector"
+            elif name.startswith(("w", "qc", "qC")):
+                classes[name] = "sparse"
+            else:
+                classes[name] = "dense"
+        return cls(name=compiled.name, terms=terms, mle_classes=classes)
+
+
+@dataclass(frozen=True)
+class ScheduleNode:
+    """One computation step: which factor slots this node covers."""
+
+    term_index: int
+    node_index: int
+    factor_slots: int          # lane ports used by new factors (<= E)
+    new_names: tuple[str, ...]  # distinct MLEs first needed at this node
+    uses_tmp: bool             # consumes the running partial product
+    writes_tmp: bool           # leaves a partial product for the next node
+
+
+@dataclass
+class PolynomialSchedule:
+    """The full schedule of a polynomial on an (E, P) SumCheck PE."""
+
+    poly: PolyProfile
+    ees: int
+    pls: int
+    nodes: list[ScheduleNode]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def extensions(self) -> int:
+        """K: evaluation points 0..d needed per SumCheck round."""
+        return self.poly.degree + 1
+
+    def initiation_interval(self, lanes_available: int | None = None) -> int:
+        """Cycles between successive pairs on one node (§III-D)."""
+        lanes = self.pls if lanes_available is None else lanes_available
+        if lanes < 1:
+            raise ValueError("at least one product lane required")
+        return ceil(self.extensions / lanes)
+
+    def cycles_per_pair(self, lanes_available: int | None = None) -> int:
+        """Pipelined cycles each table pair occupies the PE: every node is
+        a pass over the tile, so steps multiply."""
+        return self.num_steps * self.initiation_interval(lanes_available)
+
+    def tmp_buffers_required(self) -> int:
+        """The accumulation schedule needs at most one Tmp MLE buffer."""
+        return 1 if any(n.writes_tmp for n in self.nodes) else 0
+
+
+def nodes_for_degree(degree: int, ees: int) -> int:
+    """Figure-2 node count: first node takes E factor slots, each later
+    node E-1 (one port feeds the Tmp partial product)."""
+    if degree <= 0:
+        return 1
+    if degree <= ees:
+        return 1
+    return 1 + ceil((degree - ees) / (ees - 1))
+
+
+def schedule_polynomial(poly: PolyProfile, ees: int, pls: int) -> PolynomialSchedule:
+    """Decompose every term into nodes and assign prefetch sets.
+
+    Distinct-MLE bookkeeping: an MLE already brought on-chip for an
+    earlier term/node in the same round is not re-fetched (``new_names``
+    excludes it), matching the banked scratchpad reuse of §III-B.
+    """
+    if ees < 2:
+        raise ValueError("the datapath needs at least 2 extension engines")
+    nodes: list[ScheduleNode] = []
+    on_chip: set[str] = set()
+    for t_idx, term in enumerate(poly.terms):
+        # expand factor slots with multiplicity, keeping name order
+        slots: list[str] = []
+        for name, power in term.factors:
+            slots.extend([name] * power)
+        first = True
+        node_idx = 0
+        remaining = slots
+        while remaining:
+            capacity = ees if first else ees - 1
+            chunk, remaining = remaining[:capacity], remaining[capacity:]
+            new_names = tuple(
+                dict.fromkeys(n for n in chunk if n not in on_chip)
+            )
+            on_chip.update(chunk)
+            nodes.append(ScheduleNode(
+                term_index=t_idx,
+                node_index=node_idx,
+                factor_slots=len(chunk),
+                new_names=new_names,
+                uses_tmp=not first,
+                writes_tmp=bool(remaining) or (not first and bool(remaining)),
+            ))
+            first = False
+            node_idx += 1
+        # a multi-node term leaves its product in Tmp until consumed; mark
+        # all but the last node as writers
+        if node_idx > 1:
+            for k in range(len(nodes) - node_idx, len(nodes) - 1):
+                nodes[k] = ScheduleNode(
+                    term_index=nodes[k].term_index,
+                    node_index=nodes[k].node_index,
+                    factor_slots=nodes[k].factor_slots,
+                    new_names=nodes[k].new_names,
+                    uses_tmp=nodes[k].uses_tmp,
+                    writes_tmp=True,
+                )
+    return PolynomialSchedule(poly=poly, ees=ees, pls=pls, nodes=nodes)

@@ -1,0 +1,95 @@
+"""Technology constants.
+
+Every number here is published in the paper (§V, Table V, Table IX) or a
+cited source; nothing is re-synthesized.  Areas are reported in the
+paper's TSMC 22nm and scaled to 7nm by the paper's factors (3.6× area,
+3.3× power — [11]-[13], [65], [66]).
+"""
+
+from __future__ import annotations
+
+# -- scaling ----------------------------------------------------------------
+AREA_SCALE_22_TO_7 = 3.6
+POWER_SCALE_22_TO_7 = 3.3
+
+CLOCK_GHZ = 1.0  # zkPHIRE's clock (§V)
+
+
+def to_7nm_area(mm2_22nm: float) -> float:
+    return mm2_22nm / AREA_SCALE_22_TO_7
+
+
+# -- modular arithmetic units (22nm, §V) --------------------------------------
+MODMUL_255_ARBITRARY_MM2_22 = 0.478
+MODMUL_255_FIXED_MM2_22 = 0.264
+MODMUL_381_ARBITRARY_MM2_22 = 1.13
+MODMUL_381_FIXED_MM2_22 = 0.582
+MODINV_MM2_22 = 0.027  # zkSpeed's inverse unit; modmul is 17.7x larger
+
+# 7nm equivalents (match Table IX's "Modmul (mm2)" row: 0.073/0.162 fixed,
+# 0.133/0.314 arbitrary)
+MODMUL_255_ARBITRARY_MM2 = to_7nm_area(MODMUL_255_ARBITRARY_MM2_22)
+MODMUL_255_FIXED_MM2 = to_7nm_area(MODMUL_255_FIXED_MM2_22)
+MODMUL_381_ARBITRARY_MM2 = to_7nm_area(MODMUL_381_ARBITRARY_MM2_22)
+MODMUL_381_FIXED_MM2 = to_7nm_area(MODMUL_381_FIXED_MM2_22)
+MODINV_MM2 = to_7nm_area(MODINV_MM2_22)
+
+
+def modmul_area(bits: int, fixed_prime: bool) -> float:
+    """7nm area of one fully-pipelined Montgomery multiplier."""
+    if bits == 255:
+        return MODMUL_255_FIXED_MM2 if fixed_prime else MODMUL_255_ARBITRARY_MM2
+    if bits == 381:
+        return MODMUL_381_FIXED_MM2 if fixed_prime else MODMUL_381_ARBITRARY_MM2
+    raise ValueError(f"no multiplier characterized for {bits} bits")
+
+
+# -- data sizes ----------------------------------------------------------------
+FR_BYTES = 32          # 255-bit MLE element, padded
+G1_AFFINE_BYTES = 96   # 2 x 381-bit coordinates
+G1_JACOBIAN_BYTES = 144
+
+# -- memory system (§VI-B1, [2]) ----------------------------------------------
+HBM2_PHY_MM2 = 14.9     # per PHY, 7nm-equivalent (paper's assumption)
+HBM3_PHY_MM2 = 29.6
+HBM2_PHY_GBPS = 512.0   # one HBM2e PHY worth of bandwidth
+HBM3_PHY_GBPS = 1024.0
+HBM_PHY_WATTS = 31.8    # Table V: 63.60 W for 2 HBM3 PHYs
+
+# SRAM density: Table V has 27.55 mm2 for ~67 MB of on-chip SRAM (7nm)
+SRAM_MM2_PER_MB = 27.55 / 67.0
+
+# -- per-module power densities (W / mm2, derived from Table V) -----------------
+POWER_DENSITY = {
+    "msm": 58.99 / 105.69,
+    "forest": 40.69 / 48.18,
+    "sumcheck": 14.43 / 16.65,
+    "other": 6.17 / 10.64,
+    "sram": 3.56 / 27.55,
+    "interconnect": 14.83 / 26.42,
+}
+
+# -- structural constants ---------------------------------------------------------
+PADD_MODMULS = 16           # fully-pipelined mixed Jacobian add (11M + 5S)
+SC_SCRATCHPAD_BUFFERS = 16  # per SumCheck PE (§III-B)
+SC_ACC_REGISTERS = 32       # accumulation registers (degree <= 31 natively)
+EE_ADDER_MM2 = 0.020        # extension-engine adder chain + mux, 7nm
+SC_PE_CONTROL_MM2 = 0.35    # pack/crossbar/FSM slice per SumCheck PE
+MSM_PE_CONTROL_MM2 = 0.70   # bucket control + scheduler slice per MSM PE
+FOREST_OVERHEAD_FRAC = 0.03
+INTERCONNECT_FRAC = 0.146   # Table V: 26.42 / 181.15 of compute area
+
+# batch-inversion design point (§IV-B5)
+PERMQUOT_INVERSE_UNITS = 266
+PERMQUOT_BATCH = 2
+PERMQUOT_DEFAULT_PES = 5    # one per Jellyfish witness column
+
+# SHA3 + misc fixed blocks (OpenCores IP + padding logic, 7nm)
+SHA3_MM2 = 0.55
+MLE_COMBINE_MULS = 6
+
+# -- baseline platforms (§V) -----------------------------------------------------
+CPU_DIE_MM2 = 296.0        # AMD EPYC 7502, 32 cores
+CPU_4THREAD_MM2 = 37.0     # 4-core area slice used as Fig-6 area budget
+CPU_THREADS_FULL = 32
+GPU_BW_GBPS = 1600.0       # A100 40GB

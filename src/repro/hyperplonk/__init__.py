@@ -1,0 +1,61 @@
+"""An end-to-end HyperPlonk prover and verifier (functional layer).
+
+HyperPlonk [CBBZ23] is the SumCheck-based zkSNARK zkPHIRE accelerates.
+Its five steps (§IV-A) map to this package as follows:
+
+==========================  ==========================================
+Protocol step               Module
+==========================  ==========================================
+Witness Commitments         :mod:`repro.hyperplonk.commitment` (PST
+                            multilinear KZG over BLS12-381 G1, MSM-based)
+Gate Identity (ZeroCheck)   :mod:`repro.hyperplonk.prover` +
+                            :mod:`repro.sumcheck.zerocheck`
+Wire Identity (PermCheck)   :mod:`repro.hyperplonk.permutation` (N/D/φ/π
+                            construction — the Permutation Quotient
+                            Generator's software analogue)
+Batch Evaluations           :mod:`repro.hyperplonk.opencheck`
+Polynomial Opening          :mod:`repro.hyperplonk.opencheck` +
+                            :mod:`repro.hyperplonk.commitment`
+==========================  ==========================================
+
+Circuits are built with :mod:`repro.hyperplonk.circuit` using either
+Vanilla (Plonk) or Jellyfish (high-degree custom) gates.
+
+Scaling note: this layer is exact and sound but pure Python; it runs at
+μ ≈ 4–12 (16–4096 gates).  Full-scale (2^24+) behaviour is the job of
+the calibrated performance model in :mod:`repro.hw` (DESIGN.md §2).
+"""
+
+from repro.hyperplonk.circuit import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    JELLYFISH,
+    VANILLA,
+)
+from repro.hyperplonk.commitment import (
+    Commitment,
+    MultilinearKZG,
+    Opening,
+    TrapdoorSRS,
+)
+from repro.hyperplonk.prover import HyperPlonkProof, HyperPlonkProver
+from repro.hyperplonk.verifier import HyperPlonkError, HyperPlonkVerifier
+from repro.hyperplonk.preprocess import preprocess
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "GateType",
+    "JELLYFISH",
+    "VANILLA",
+    "Commitment",
+    "MultilinearKZG",
+    "Opening",
+    "TrapdoorSRS",
+    "HyperPlonkProof",
+    "HyperPlonkProver",
+    "HyperPlonkError",
+    "HyperPlonkVerifier",
+    "preprocess",
+]

@@ -1,0 +1,203 @@
+"""Multilinear KZG (PST-style) polynomial commitments over BLS12-381 G1.
+
+HyperPlonk pairs its SumCheck IOP with a pairing-based multilinear
+commitment: committing is an MSM of the MLE table against SRS bases
+g^{eq_x(s)} for a secret point s; opening at z produces one quotient
+commitment per variable via f(X) - f(z) = Σ_i q_i(X) (X_i - z_i).
+
+**Substitution (DESIGN.md §2):** verification of the pairing identity
+e(C - v·G, H) = Σ_i e(Q_i, H^{s_i - z_i}) is performed *in the exponent*
+using a :class:`TrapdoorSRS` that retains the toxic waste s: the verifier
+checks  C - v·G == Σ_i (s_i - z_i)·Q_i  directly with group arithmetic.
+This is the same algebraic identity the pairing would check (the pairing
+merely lets a party *without* s check it), so soundness and every
+experiment-relevant behaviour are preserved; only public verifiability is
+simulated.  No experiment in the paper measures the verifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import random
+
+from repro.curves import AffinePoint, G1, G1_GENERATOR, msm_pippenger
+from repro.fields import FR_MODULUS, Fr
+from repro.mle import DenseMLE
+from repro.mle.eq import build_eq_mle
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A binding commitment to an MLE: one G1 point."""
+
+    point: AffinePoint
+    num_vars: int
+
+    SIZE_BYTES = 48  # compressed G1
+
+    def add(self, other: "Commitment") -> "Commitment":
+        if self.num_vars != other.num_vars:
+            raise ValueError("commitment arity mismatch")
+        return Commitment(self.point.add(other.point), self.num_vars)
+
+    def scale(self, k: int) -> "Commitment":
+        return Commitment(self.point.scalar_mul(k), self.num_vars)
+
+
+@dataclass(frozen=True)
+class Opening:
+    """An opening proof: the claimed value and μ quotient commitments."""
+
+    point: tuple[int, ...]
+    value: int
+    quotients: tuple[AffinePoint, ...]
+
+    @property
+    def size_bytes(self) -> int:
+        return 32 + 48 * len(self.quotients)
+
+
+class TrapdoorSRS:
+    """Structured reference string for ≤ ``max_vars`` variables.
+
+    Bases: base[x] = g^{eq_x(s)} for every hypercube point x, where
+    eq_x(s) = Π_i (x_i s_i + (1-x_i)(1-s_i)).
+
+    Arity convention: an MLE with ν ≤ max_vars variables uses the *suffix*
+    secrets s_{max-ν+1..max}.  This makes openings compose: opening a
+    ν-variable polynomial peels variables off the front, so its i-th
+    quotient has arity ν-i and naturally lives on the remaining (suffix)
+    secrets — the telescoping identity
+    f(s) - f(z) = Σ_i (s_i - z_i) · q_i(s_{i+1..ν}) then holds verbatim.
+
+    The secret ``s`` is retained for exponent-space verification (see
+    module docstring).  A production system would run a ceremony and
+    discard it.
+    """
+
+    def __init__(self, max_vars: int, rng: random.Random | None = None):
+        rng = rng or random.Random(0x5EED)
+        self.max_vars = max_vars
+        self.secret = [rng.randrange(1, FR_MODULUS) for _ in range(max_vars)]
+        self._bases_cache: dict[int, list[AffinePoint]] = {}
+
+    def secrets_for(self, num_vars: int) -> list[int]:
+        """The suffix secrets an arity-``num_vars`` polynomial is bound to."""
+        if num_vars > self.max_vars:
+            raise ValueError(
+                f"SRS supports up to {self.max_vars} vars, asked for {num_vars}"
+            )
+        return self.secret[self.max_vars - num_vars:]
+
+    def bases(self, num_vars: int) -> list[AffinePoint]:
+        """G1 bases g^{eq_x(suffix secrets)} for all 2^ν hypercube points."""
+        if num_vars not in self._bases_cache:
+            eq = build_eq_mle(Fr, self.secrets_for(num_vars))
+            self._bases_cache[num_vars] = [
+                G1_GENERATOR.scalar_mul(v) for v in eq.table
+            ]
+        return self._bases_cache[num_vars]
+
+    def g2_elements(self, num_vars: int):
+        """The *public* G2 verifying key for arity ν: (h, [s_i·h]) over
+        the suffix secrets.  With these, opening verification needs no
+        trapdoor — see :meth:`MultilinearKZG.verify_pairing`."""
+        from repro.curves.pairing import G2Point
+
+        h = G2Point.generator()
+        return h, [h.scalar_mul(s) for s in self.secrets_for(num_vars)]
+
+
+class MultilinearKZG:
+    """Commit/open/verify for dense MLEs against a :class:`TrapdoorSRS`."""
+
+    def __init__(self, srs: TrapdoorSRS):
+        self.srs = srs
+
+    # -- commit ------------------------------------------------------------
+    def commit(self, mle: DenseMLE) -> Commitment:
+        bases = self.srs.bases(mle.num_vars)
+        if all(v == 0 for v in mle.table):
+            return Commitment(G1.infinity, mle.num_vars)
+        return Commitment(msm_pippenger(mle.table, bases), mle.num_vars)
+
+    # -- open -----------------------------------------------------------------
+    def open(self, mle: DenseMLE, point: Sequence[int]) -> Opening:
+        """Open ``mle`` at ``point``: value + one quotient commitment per var.
+
+        The quotients come from progressively fixing variables:
+        with f_1 = f and f_{i+1} = f_i(z_i, ·),
+        q_i(X_{i+1..μ}) = f_i(1, ·) - f_i(0, ·), and f(z) = f_{μ+1}.
+        """
+        if len(point) != mle.num_vars:
+            raise ValueError("opening point arity mismatch")
+        p = Fr.modulus
+        quotients: list[AffinePoint] = []
+        cur = mle
+        for z in point:
+            half = len(cur.table) // 2
+            q_table = [
+                (cur.table[2 * j + 1] - cur.table[2 * j]) % p for j in range(half)
+            ]
+            rem_vars = cur.num_vars - 1
+            if half == 1:
+                # 0-variable quotient: constant committed on the generator
+                q_commit = (
+                    G1.infinity
+                    if q_table[0] == 0
+                    else G1_GENERATOR.scalar_mul(q_table[0])
+                )
+            else:
+                q_mle = DenseMLE(Fr, q_table)
+                q_commit = self.commit(q_mle).point
+            quotients.append(q_commit)
+            cur = cur.fix_first_variable(z)
+        return Opening(point=tuple(v % p for v in point), value=cur.table[0],
+                       quotients=tuple(quotients))
+
+    # -- verify -------------------------------------------------------------
+    def verify(self, commitment: Commitment, opening: Opening) -> bool:
+        """Check C - v·G == Σ_i (s_i - z_i)·Q_i in G1 (exponent-space
+        equivalent of the PST pairing product — see module docstring)."""
+        if len(opening.point) != commitment.num_vars:
+            return False
+        p = Fr.modulus
+        lhs = commitment.point.to_jacobian().add(
+            G1_GENERATOR.scalar_mul(opening.value).neg().to_jacobian()
+        )
+        rhs = G1.jacobian_infinity
+        # An arity-ν commitment is bound to the suffix secrets; its i-th
+        # quotient (arity ν-1-i) is bound to the suffix one deeper, which
+        # is how `open` committed it.
+        secrets = self.srs.secrets_for(commitment.num_vars)
+        for i, (z, q) in enumerate(zip(opening.point, opening.quotients)):
+            factor = (secrets[i] - z) % p
+            rhs = rhs.add(q.to_jacobian().scalar_mul(factor))
+        return lhs == rhs
+
+    def verify_pairing(self, commitment: Commitment, opening: Opening) -> bool:
+        """Publicly verify an opening with the real BLS12-381 pairing:
+
+            e(C - v·G, h) · Π_i e(-Q_i, h^{s_i} - z_i·h) == 1
+
+        This is the actual PST check — no trapdoor involved; the verifier
+        uses only the public G2 verifying key.  Slower (one Miller loop
+        per variable) but the ground truth :meth:`verify` simulates.
+        """
+        from repro.curves.pairing import multi_pairing
+
+        if len(opening.point) != commitment.num_vars:
+            return False
+        h, s_h = self.srs.g2_elements(commitment.num_vars)
+        c_minus_v = commitment.point.to_jacobian().add(
+            G1_GENERATOR.scalar_mul(opening.value).neg().to_jacobian()
+        ).to_affine()
+        pairs = [(c_minus_v, h)]
+        for z, q, hs in zip(opening.point, opening.quotients, s_h):
+            if q.inf:
+                continue
+            g2_term = hs.add(h.scalar_mul(z).neg())
+            pairs.append((q.neg(), g2_term))
+        return multi_pairing(pairs).is_one()

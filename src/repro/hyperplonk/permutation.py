@@ -1,0 +1,146 @@
+"""Wire-identity (PermCheck) data construction.
+
+This is the software analogue of zkPHIRE's Permutation Quotient Generator
+(§IV-B5): from witness columns w_i, identity labels id_i, permutation
+labels σ_i and challenges β, γ it builds
+
+* per-column Numerators  N_i(x) = w_i(x) + β·id_i(x) + γ,
+* per-column Denominators D_i(x) = w_i(x) + β·σ_i(x) + γ,
+* the Fraction MLE        φ(x) = Π_i N_i(x) / Π_i D_i(x)
+  (batched modular inversion — the paper's batch-2 Montgomery scheme),
+* the Product tree MLE    π̃ over μ+1 variables (built by the
+  Multifunction Forest in hardware).
+
+Product-tree layout (Quarks-style): the bottom half of π̃'s table holds
+the 2^μ leaf values φ(x); entry 2^μ + t holds π̃[2t]·π̃[2t+1], packing the
+reduction levels contiguously; the final slot 2^(μ+1)-1 is fixed to 1,
+which makes the single constraint
+
+    π(t) - p1(t)·p2(t) = 0   for all t in {0,1}^μ,
+
+with π = π̃(·, X_{μ+1}=1), p1 = π̃(X_1=0, ·), p2 = π̃(X_1=1, ·),
+*also* enforce that the root product equals 1 (at t = 2^μ - 1 the
+constraint reads 1 = root · 1).  The permutation argument is sound iff
+Π φ = 1, i.e. Π_i,x N_i = Π_i,x D_i under the β, γ randomization.
+
+The full PermCheck ZeroCheck polynomial is then exactly Table I rows
+21/23:  (π - p1·p2 + α·(φ·D_1..D_k - N_1..N_k)) · fr.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fields.counters import OpCounter
+from repro.fields.prime_field import PrimeField, batch_inverse
+from repro.mle.table import DenseMLE
+from repro.mle.virtual import Term
+
+
+@dataclass
+class PermutationData:
+    """Everything PermCheck commits to or sums over."""
+
+    numerators: dict[str, DenseMLE]    # N1..Nk
+    denominators: dict[str, DenseMLE]  # D1..Dk
+    phi: DenseMLE                      # fraction MLE (μ vars)
+    prod_tree: DenseMLE                # π̃ (μ+1 vars)
+
+    @property
+    def pi(self) -> DenseMLE:
+        """π(t) = π̃(t, 1): the top half of the tree table."""
+        half = len(self.prod_tree.table) // 2
+        return DenseMLE(self.prod_tree.field, self.prod_tree.table[half:])
+
+    @property
+    def p1(self) -> DenseMLE:
+        """p1(t) = π̃(0, t): even entries."""
+        return self.prod_tree.fix_first_variable(0)
+
+    @property
+    def p2(self) -> DenseMLE:
+        """p2(t) = π̃(1, t): odd entries."""
+        return self.prod_tree.fix_first_variable(1)
+
+    @property
+    def root(self) -> int:
+        """The grand product Π_x φ(x) — must be 1 for a valid wiring."""
+        return self.prod_tree.table[-2]
+
+
+def build_permutation_data(
+    field: PrimeField,
+    witness: dict[str, DenseMLE],
+    identities: dict[str, DenseMLE],
+    sigmas: dict[str, DenseMLE],
+    beta: int,
+    gamma: int,
+    counter: OpCounter | None = None,
+) -> PermutationData:
+    """Construct N/D/φ/π̃ (the Permutation Quotient Generator's outputs)."""
+    p = field.modulus
+    beta %= p
+    gamma %= p
+    names = sorted(witness, key=lambda s: int(s[1:]))  # w1..wk
+    k = len(names)
+    size = len(next(iter(witness.values())).table)
+
+    numerators: dict[str, DenseMLE] = {}
+    denominators: dict[str, DenseMLE] = {}
+    num_prod = [1] * size
+    den_prod = [1] * size
+    for col, wname in enumerate(names, start=1):
+        w = witness[wname].table
+        ident = identities[f"id{col}"].table
+        sigma = sigmas[f"sigma{col}"].table
+        n_t = [(w[i] + beta * ident[i] + gamma) % p for i in range(size)]
+        d_t = [(w[i] + beta * sigma[i] + gamma) % p for i in range(size)]
+        numerators[f"N{col}"] = DenseMLE(field, n_t)
+        denominators[f"D{col}"] = DenseMLE(field, d_t)
+        for i in range(size):
+            num_prod[i] = num_prod[i] * n_t[i] % p
+            den_prod[i] = den_prod[i] * d_t[i] % p
+        if counter is not None:
+            counter.count_mul(2 * size)          # β·id, β·σ
+            counter.count_mul(2 * size)          # fold into running products
+            counter.count_add(4 * size)
+
+    den_inv = batch_inverse(field, den_prod)
+    if counter is not None:
+        counter.count_inv(size)
+    phi_t = [num_prod[i] * den_inv[i] % p for i in range(size)]
+    if counter is not None:
+        counter.count_mul(size)
+
+    tree = phi_t + [0] * size
+    for t in range(size - 1):
+        tree[size + t] = tree[2 * t] * tree[2 * t + 1] % p
+    tree[2 * size - 1] = 1
+    if counter is not None:
+        counter.count_mul(size - 1)
+
+    return PermutationData(
+        numerators=numerators,
+        denominators=denominators,
+        phi=DenseMLE(field, phi_t),
+        prod_tree=DenseMLE(field, tree),
+    )
+
+
+def permcheck_terms(field: PrimeField, num_columns: int, alpha: int) -> list[Term]:
+    """The PermCheck gate identity (Table I rows 21/23), *without* fr:
+
+        π - p1·p2 + α·(φ·D1···Dk - N1···Nk)
+
+    ZeroCheck appends the fr factor.
+    """
+    p = field.modulus
+    alpha %= p
+    d_factors = tuple((f"D{i}", 1) for i in range(1, num_columns + 1))
+    n_factors = tuple((f"N{i}", 1) for i in range(1, num_columns + 1))
+    return [
+        Term(1, (("pi", 1),)),
+        Term(p - 1, (("p1", 1), ("p2", 1))),
+        Term(alpha, (("phi", 1),) + d_factors),
+        Term(p - alpha, n_factors),
+    ]

@@ -1,0 +1,32 @@
+"""Multilinear extensions (MLEs) and composite ("virtual") polynomials.
+
+MLEs are the core data structure of SumCheck-based ZKPs (§II-C): a
+multilinear polynomial in μ variables stored as a flat table of its 2^μ
+evaluations on the boolean hypercube.  This package provides
+
+* :class:`~repro.mle.table.DenseMLE` — the table, with the three hardware
+  primitives zkPHIRE builds datapaths for: *update* (fix a variable to a
+  challenge, halving the table), *extension* (extrapolate an evaluation
+  pair to X = 2..d), and point evaluation,
+* :func:`~repro.mle.eq.build_eq_mle` — the eq(x, r) randomizer polynomial
+  used by ZeroCheck (the "Build MLE" kernel),
+* :class:`~repro.mle.virtual.VirtualPolynomial` — a sum of products of
+  MLEs (with powers), i.e. the composite polynomials SumCheck runs over.
+
+Index convention: table index ``b`` encodes the point (X_1, ..., X_μ) with
+X_1 in the least-significant bit, so the round-1 pairs (X_1 = 0, 1) are
+adjacent entries — the same streaming-friendly layout the accelerator uses.
+"""
+
+from repro.mle.table import DenseMLE, extend_pair
+from repro.mle.eq import build_eq_mle, eq_eval
+from repro.mle.virtual import Term, VirtualPolynomial
+
+__all__ = [
+    "DenseMLE",
+    "extend_pair",
+    "build_eq_mle",
+    "eq_eval",
+    "Term",
+    "VirtualPolynomial",
+]

@@ -1,0 +1,86 @@
+"""Fiat–Shamir transcript over SHA3-256.
+
+zkPHIRE instantiates the random oracle with a SHA3 (Keccak) IP block
+(§V, Fig. 4): after each SumCheck round the prover hashes the round's
+evaluations to derive the verifier challenge.  This transcript mirrors
+that: an absorb/squeeze sponge-style interface where every challenge is
+the hash of everything absorbed so far.
+
+Determinism contract: a prover and verifier that absorb identical byte
+sequences derive identical challenges; any divergence (tampered proof)
+diverges the challenge stream and the proof fails.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.fields.prime_field import PrimeField
+
+
+class Transcript:
+    """SHA3-256 Fiat–Shamir transcript bound to a prime field."""
+
+    def __init__(self, field: PrimeField, domain: bytes = b"zkphire"):
+        self.field = field
+        self._state = hashlib.sha3_256(b"transcript/" + domain).digest()
+        self._counter = 0
+        # field elements are serialized to a fixed width so absorption is
+        # injective (255-bit Fr -> 32 bytes, 381-bit Fq -> 48 bytes)
+        self._width = (field.bit_length + 7) // 8
+
+    # -- absorption --------------------------------------------------------
+    def absorb_bytes(self, label: bytes, data: bytes) -> None:
+        h = hashlib.sha3_256()
+        h.update(self._state)
+        h.update(len(label).to_bytes(4, "big"))
+        h.update(label)
+        h.update(len(data).to_bytes(8, "big"))
+        h.update(data)
+        self._state = h.digest()
+
+    def absorb_scalar(self, label: bytes, value: int) -> None:
+        self.absorb_bytes(label, (value % self.field.modulus).to_bytes(self._width, "big"))
+
+    def absorb_scalars(self, label: bytes, values: Iterable[int]) -> None:
+        p = self.field.modulus
+        data = b"".join((v % p).to_bytes(self._width, "big") for v in values)
+        self.absorb_bytes(label, data)
+
+    def absorb_point(self, label: bytes, point) -> None:
+        """Absorb an affine curve point (commitment)."""
+        if point.inf:
+            self.absorb_bytes(label, b"\x00" * 97)
+        else:
+            width = (point.curve.field.bit_length + 7) // 8
+            self.absorb_bytes(
+                label,
+                b"\x04" + point.x.to_bytes(width, "big") + point.y.to_bytes(width, "big"),
+            )
+
+    # -- squeezing -----------------------------------------------------------
+    def challenge(self, label: bytes) -> int:
+        """Derive a field challenge; each call advances the transcript."""
+        h = hashlib.sha3_256()
+        h.update(self._state)
+        h.update(b"challenge")
+        h.update(len(label).to_bytes(4, "big"))
+        h.update(label)
+        h.update(self._counter.to_bytes(8, "big"))
+        digest = h.digest()
+        self._counter += 1
+        # fold two blocks for negligible mod-p bias on a 255-bit field
+        wide = int.from_bytes(digest + hashlib.sha3_256(digest).digest(), "big")
+        value = wide % self.field.modulus
+        self.absorb_scalar(b"challenge-out/" + label, value)
+        return value
+
+    def challenges(self, label: bytes, count: int) -> list[int]:
+        return [self.challenge(label + b"/%d" % i) for i in range(count)]
+
+    def fork(self, domain: bytes) -> "Transcript":
+        """Independent transcript seeded by the current state (sub-protocols)."""
+        child = Transcript(self.field, domain)
+        child.absorb_bytes(b"fork-parent", self._state)
+        return child

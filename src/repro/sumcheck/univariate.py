@@ -1,0 +1,63 @@
+"""Univariate helpers for SumCheck round polynomials.
+
+Round i of SumCheck on a degree-d composition is described by the d+1
+evaluations s_i(0), ..., s_i(d).  The verifier needs s_i(r_i) at a random
+challenge, i.e. Lagrange interpolation on the fixed node set {0..d}.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fields.prime_field import PrimeField
+
+
+def lagrange_eval_at(field: PrimeField, evals: Sequence[int], r: int) -> int:
+    """Evaluate the unique degree-(len(evals)-1) polynomial through
+    (i, evals[i]) for i = 0..d at the point ``r``.
+
+    Uses the barycentric form specialized to integer nodes: weights
+    w_i = 1 / (i! * (d-i)! * (-1)^(d-i)), with prefix/suffix products of
+    (r - j) so the whole evaluation costs O(d) multiplications and a
+    single batch of inversions.
+    """
+    p = field.modulus
+    d = len(evals) - 1
+    if d < 0:
+        raise ValueError("need at least one evaluation")
+    r %= p
+    if r <= d:
+        return evals[r] % p
+
+    # prefix[i] = prod_{j<i} (r-j), suffix[i] = prod_{j>i} (r-j)
+    prefix = [1] * (d + 1)
+    for i in range(1, d + 1):
+        prefix[i] = prefix[i - 1] * (r - (i - 1)) % p
+    suffix = [1] * (d + 1)
+    for i in range(d - 1, -1, -1):
+        suffix[i] = suffix[i + 1] * (r - (i + 1)) % p
+
+    # inverse factorials
+    fact = [1] * (d + 1)
+    for i in range(1, d + 1):
+        fact[i] = fact[i - 1] * i % p
+    inv_fact_d = pow(fact[d], -1, p)
+    inv_fact = [0] * (d + 1)
+    inv_fact[d] = inv_fact_d
+    for i in range(d, 0, -1):
+        inv_fact[i - 1] = inv_fact[i] * i % p
+
+    total = 0
+    for i in range(d + 1):
+        w = inv_fact[i] * inv_fact[d - i] % p
+        if (d - i) % 2 == 1:
+            w = p - w
+        total = (total + evals[i] * w % p * prefix[i] % p * suffix[i]) % p
+    return total
+
+
+def univariate_sum_01(field: PrimeField, evals: Sequence[int]) -> int:
+    """s(0) + s(1) for a round polynomial given by its evaluations."""
+    if len(evals) < 2:
+        raise ValueError("round polynomial needs at least two evaluations")
+    return (evals[0] + evals[1]) % field.modulus

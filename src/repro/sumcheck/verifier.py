@@ -1,0 +1,102 @@
+"""The SumCheck verifier.
+
+Checks, per round, that s_i(0) + s_i(1) equals the running claim, then
+reduces the claim to s_i(r_i) via Lagrange interpolation at the Fiat–
+Shamir challenge r_i.  After μ rounds the final claim must equal the
+composition applied to the constituent MLEs' evaluations at
+(r_1, ..., r_μ) — supplied either directly (when an outer protocol opens
+them via the PCS) or via an oracle callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.mle.virtual import Term
+from repro.sumcheck.prover import SumCheckProof
+from repro.sumcheck.transcript import Transcript
+from repro.sumcheck.univariate import lagrange_eval_at, univariate_sum_01
+from repro.fields.prime_field import PrimeField
+
+
+class SumCheckError(AssertionError):
+    """Raised when a SumCheck proof fails verification."""
+
+
+def combine_terms(field: PrimeField, terms: Sequence[Term], evals: Mapping[str, int]) -> int:
+    """Apply a term list to per-MLE evaluations (the verifier's last step)."""
+    p = field.modulus
+    total = 0
+    for term in terms:
+        prod = term.coeff % p
+        for name, power in term.factors:
+            prod = prod * pow(evals[name] % p, power, p) % p
+        total = (total + prod) % p
+    return total
+
+
+def verify_sumcheck(
+    field: PrimeField,
+    terms: Sequence[Term],
+    proof: SumCheckProof,
+    transcript: Transcript,
+    final_eval_oracle: Callable[[str, Sequence[int]], int] | None = None,
+) -> list[int]:
+    """Verify a SumCheck proof.
+
+    Parameters
+    ----------
+    terms:
+        The composition structure (public: it is part of the circuit).
+    final_eval_oracle:
+        Optional callable ``(mle_name, challenge_point) -> eval``.  When
+        given, the verifier checks the prover's claimed final evaluations
+        against the oracle (in HyperPlonk this role is played by PCS
+        openings).  When omitted, the prover-supplied values are used for
+        the composition check only — sound inside an outer protocol that
+        opens them later.
+
+    Returns the challenge vector on success; raises :class:`SumCheckError`
+    on any failed check.
+    """
+    transcript.absorb_scalar(b"sumcheck/claim", proof.claim)
+    transcript.absorb_scalar(b"sumcheck/num-vars", proof.num_vars)
+    transcript.absorb_scalar(b"sumcheck/degree", proof.degree)
+
+    if len(proof.round_evals) != proof.num_vars:
+        raise SumCheckError(
+            f"expected {proof.num_vars} rounds, proof has {len(proof.round_evals)}"
+        )
+
+    claim = proof.claim % field.modulus
+    challenges: list[int] = []
+    for rnd, evals in enumerate(proof.round_evals):
+        if len(evals) != proof.degree + 1:
+            raise SumCheckError(
+                f"round {rnd}: expected {proof.degree + 1} evaluations, "
+                f"got {len(evals)}"
+            )
+        if univariate_sum_01(field, evals) != claim:
+            raise SumCheckError(f"round {rnd}: s(0) + s(1) != running claim")
+        transcript.absorb_scalars(b"sumcheck/round", evals)
+        r = transcript.challenge(b"sumcheck/challenge")
+        challenges.append(r)
+        claim = lagrange_eval_at(field, evals, r)
+
+    final_evals = dict(proof.final_evals)
+    needed = {name for t in terms for name, _ in t.factors}
+    missing = needed - final_evals.keys()
+    if missing:
+        raise SumCheckError(f"final evaluations missing for {sorted(missing)}")
+
+    if final_eval_oracle is not None:
+        for name in sorted(needed):
+            expected = final_eval_oracle(name, challenges) % field.modulus
+            if final_evals[name] % field.modulus != expected:
+                raise SumCheckError(f"final evaluation of {name!r} disagrees with oracle")
+
+    if combine_terms(field, terms, final_evals) != claim:
+        raise SumCheckError("final composition check failed")
+
+    transcript.absorb_scalars(b"sumcheck/final", final_evals.values())
+    return challenges

@@ -1,0 +1,9 @@
+"""Workload catalog: the benchmark circuits of the paper's evaluation."""
+
+from repro.workloads.catalog import (
+    WORKLOADS,
+    Workload,
+    workload_by_name,
+)
+
+__all__ = ["WORKLOADS", "Workload", "workload_by_name"]

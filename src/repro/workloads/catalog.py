@@ -1,0 +1,65 @@
+"""The paper's benchmark workloads (Tables VI/VII/VIII, Fig 13).
+
+Gate counts and measured CPU baselines are taken verbatim from the paper
+(they come from libsnark/HyperPlonk workload statistics [1], [9]); the
+Jellyfish column shows the gate-count reduction from expressive gates
+(§II-C2: up to 32×).  CPU runtimes are the paper's 32-thread EPYC-7502
+measurements — we reproduce reported baselines rather than re-measure
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Workload:
+    name: str
+    #: log2 gate count with Vanilla gates (None if the paper gives none)
+    vanilla_log2: int | None
+    #: log2 gate count with Jellyfish gates
+    jellyfish_log2: int | None
+    #: measured CPU prover time, Vanilla gates, seconds (Table VI)
+    cpu_vanilla_s: float | None = None
+    #: measured CPU prover time, Jellyfish gates, seconds (Table VII)
+    cpu_jellyfish_s: float | None = None
+
+    @property
+    def vanilla_gates(self) -> int | None:
+        return None if self.vanilla_log2 is None else 1 << self.vanilla_log2
+
+    @property
+    def jellyfish_gates(self) -> int | None:
+        return None if self.jellyfish_log2 is None else 1 << self.jellyfish_log2
+
+    @property
+    def jellyfish_reduction(self) -> float | None:
+        if self.vanilla_log2 is None or self.jellyfish_log2 is None:
+            return None
+        return 2.0 ** (self.vanilla_log2 - self.jellyfish_log2)
+
+
+WORKLOADS: list[Workload] = [
+    Workload("ZCash", 17, 15, cpu_vanilla_s=1.429, cpu_jellyfish_s=0.701),
+    Workload("Auction", 20, None, cpu_vanilla_s=8.619),
+    Workload("Rescue Hash", 21, 20, cpu_vanilla_s=18.637, cpu_jellyfish_s=11.532),
+    Workload("Zexe", 22, 17, cpu_vanilla_s=37.469, cpu_jellyfish_s=1.951),
+    Workload("Rollup 10 Pvt Tx", 23, 18, cpu_vanilla_s=74.052, cpu_jellyfish_s=3.339),
+    Workload("Rollup 25 Pvt Tx", 24, 19, cpu_vanilla_s=145.500, cpu_jellyfish_s=6.161),
+    Workload("Rollup 50 Pvt Tx", 25, 20, cpu_vanilla_s=325.048, cpu_jellyfish_s=11.533),
+    Workload("Rollup 100 Pvt Tx", 26, 21, cpu_vanilla_s=640.987, cpu_jellyfish_s=24.071),
+    Workload("Rollup 1600 Pvt Tx", 30, 25, cpu_jellyfish_s=355.406),
+    Workload("zkEVM", None, 27, cpu_jellyfish_s=25 * 60.0),
+]
+
+#: the Pareto-analysis workload: 2^24 Jellyfish gates, CPU ≈ 182.896 s (§VI-B1)
+PARETO_WORKLOAD_LOG2 = 24
+PARETO_WORKLOAD_CPU_S = 182.896
+
+
+def workload_by_name(name: str) -> Workload:
+    for w in WORKLOADS:
+        if w.name.lower() == name.lower():
+            return w
+    raise KeyError(f"unknown workload {name!r}")

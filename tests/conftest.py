@@ -1,0 +1,30 @@
+"""Shared fixtures and helpers for the test suite.
+
+Tests default to BLS12-381 Fr for fidelity; a small 61-bit prime field is
+also provided for hypothesis-heavy property tests where throughput matters
+more than bit-width.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import Fr, PrimeField
+
+#: a 61-bit Mersenne prime field for fast property tests
+SMALL_PRIME = (1 << 61) - 1
+
+
+@pytest.fixture
+def fr():
+    return Fr
+
+
+@pytest.fixture
+def small_field():
+    return PrimeField(SMALL_PRIME, "F61")
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

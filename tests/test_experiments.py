@@ -1,0 +1,81 @@
+"""Integration tests over the experiment harness (fast mode).
+
+The benchmarks in ``benchmarks/`` assert the headline claims; these
+tests cover harness mechanics (row schemas, formatting, reuse paths).
+"""
+
+import pytest
+
+from repro.experiments import table01, fig08, fig12, fig13, fig14
+from repro.experiments import table05, table06, table07, table08, table09
+from repro.experiments.common import ExperimentResult, geomean
+
+
+class TestCommon:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_format_table_rounding_and_private_keys(self):
+        r = ExperimentResult("x", "A title",
+                             rows=[{"a": 1.23456, "b": "text"}],
+                             summary={"ok": 2.0, "_hidden": object()})
+        text = r.format_table()
+        assert "A title" in text and "1.235" in text
+        assert "_hidden" not in text
+
+    def test_max_rows_elision(self):
+        r = ExperimentResult("x", "t", rows=[{"i": i} for i in range(10)])
+        assert "more rows" in r.format_table(max_rows=3)
+
+    def test_empty_table(self):
+        assert "(no rows)" in ExperimentResult("x", "t").format_table()
+
+
+class TestSchemas:
+    def test_table01_row_schema(self):
+        rows = table01.run().rows
+        assert len(rows) == 25
+        assert {"id", "name", "degree", "terms"} <= set(rows[0])
+
+    def test_fig08_steps_monotone_in_ees(self):
+        rows = fig08.run().rows
+        for row in rows:
+            assert row["steps@2"] >= row["steps@7"]
+
+    def test_fig12_shares_sum_to_100(self):
+        result = fig12.run()
+        cpu_rows = [r for r in result.rows if r["platform"] == "CPU"]
+        zk_rows = [r for r in result.rows if r["platform"] == "zkPHIRE"]
+        assert sum(r["share %"] for r in cpu_rows) == pytest.approx(100, abs=1)
+        assert sum(r["share %"] for r in zk_rows) == pytest.approx(100, abs=1)
+
+    def test_fig13_vanilla_baseline_is_one(self):
+        assert all(r["Vanilla"] == 1.0 for r in fig13.run().rows)
+
+    def test_fig14_monotone_sumcheck(self):
+        rows = fig14.run().rows
+        sc = [r["SumCheck (ms)"] for r in rows]
+        assert sc == sorted(sc)
+
+    def test_table05_has_total_row(self):
+        rows = table05.run().rows
+        assert rows[-1]["module"] == "TOTAL"
+
+    def test_table06_skips_workloads_without_vanilla(self):
+        names = [r["workload"] for r in table06.run().rows]
+        assert "zkEVM" not in names
+        assert "Rollup 1600 Pvt Tx" not in names
+
+    def test_table07_covers_2_30(self):
+        rows = table07.run().rows
+        assert any(r["workload"] == "Rollup 1600 Pvt Tx" for r in rows)
+
+    def test_table08_five_workloads(self):
+        assert len(table08.run().rows) == 5
+
+    def test_table09_four_accelerators(self):
+        rows = table09.run().rows
+        assert [r["accelerator"] for r in rows] == [
+            "NoCap", "SZKP+", "zkSpeed+", "zkPHIRE (ours)"]

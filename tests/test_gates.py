@@ -1,0 +1,223 @@
+"""Unit tests for the gate-expression language and Table I library."""
+
+import random
+
+import pytest
+
+from repro.fields import Fr
+from repro.gates import (
+    TABLE1,
+    CompiledGate,
+    Const,
+    Scalar,
+    Var,
+    compile_expr,
+    gate_by_id,
+    high_degree_sweep_gate,
+)
+from repro.mle import DenseMLE, VirtualPolynomial
+
+P = Fr.modulus
+
+
+class TestCompiler:
+    def test_simple_sum_of_products(self):
+        a, b, q = Var("a"), Var("b"), Var("q")
+        g = compile_expr("g", q * (a + b))
+        assert g.num_terms == 2
+        assert g.degree == 2
+        assert set(g.mle_names) == {"q", "a", "b"}
+
+    def test_distribution_and_like_terms(self):
+        a = Var("a")
+        g = compile_expr("g", (a + 1) * (a - 1))  # a^2 - 1
+        assert g.degree == 2
+        assert g.num_terms == 2
+        coeffs = {m.factors: m.coeff for m in g.monomials}
+        assert coeffs[(("a", 2),)] == 1
+        assert coeffs[()] == -1
+
+    def test_cancellation(self):
+        a = Var("a")
+        with pytest.raises(ValueError):
+            compile_expr("zero", a - a)
+
+    def test_powers(self):
+        w = Var("w")
+        g = compile_expr("g", w**5)
+        assert g.degree == 5
+        assert g.monomials[0].factors == (("w", 5),)
+
+    def test_pow_zero(self):
+        w = Var("w")
+        g = compile_expr("g", w**0 + w)
+        assert g.degree == 1
+        assert g.num_terms == 2
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            Var("w") ** -1
+
+    def test_scalars_stay_symbolic(self):
+        alpha, w = Scalar("alpha"), Var("w")
+        g = compile_expr("g", alpha * w + w)
+        assert g.scalar_names == ["alpha"]
+        assert g.degree == 1
+
+    def test_bind_resolves_scalars(self):
+        alpha, w = Scalar("alpha"), Var("w")
+        g = compile_expr("g", alpha * w)
+        terms = g.bind(Fr, {"alpha": 7})
+        assert len(terms) == 1
+        assert terms[0].coeff == 7
+
+    def test_bind_missing_scalar_raises(self):
+        g = compile_expr("g", Scalar("alpha") * Var("w"))
+        with pytest.raises(KeyError):
+            g.bind(Fr)
+
+    def test_bind_zero_coefficient_dropped(self):
+        g = compile_expr("g", Scalar("alpha") * Var("w") + Var("v"))
+        terms = g.bind(Fr, {"alpha": 0})
+        assert len(terms) == 1
+        assert terms[0].factors == (("v", 1),)
+
+    def test_compiled_evaluation_matches_tree(self, rng):
+        """Compiled sum-of-products equals direct expression evaluation."""
+        a, b, c = Var("a"), Var("b"), Var("c")
+        expr = (a + 2 * b) * (c - a) * (b + 3) - c**2
+        g = compile_expr("g", expr)
+        vals = {"a": rng.randrange(P), "b": rng.randrange(P), "c": rng.randrange(P)}
+        direct = (
+            (vals["a"] + 2 * vals["b"])
+            * (vals["c"] - vals["a"])
+            * (vals["b"] + 3)
+            - vals["c"] ** 2
+        ) % P
+        total = 0
+        for t in g.bind(Fr):
+            prod = t.coeff
+            for name, power in t.factors:
+                prod = prod * pow(vals[name], power, P) % P
+            total = (total + prod) % P
+        assert total == direct
+
+    def test_const_expression(self):
+        g = compile_expr("g", Const(5) + Var("a"))
+        assert any(m.factors == () and m.coeff == 5 for m in g.monomials)
+
+    def test_repr_forms(self):
+        e = (Var("a") + Scalar("s")) * Const(2) ** 1
+        assert "a" in repr(e)
+
+
+# Hand-verified from Table I.  Degree counts every multilinear factor
+# including selectors and (for IDs 20-23) the fr randomizer; e.g. the
+# Vanilla gate's qM*w1*w2 term has degree 3, so ZeroCheck poly 20 is
+# degree 4 with fr.
+EXPECTED_TABLE1_SHAPES = {
+    # gate_id: (degree, num_unique_mles)
+    0: (3, 4),
+    1: (3, 4),
+    2: (2, 2),
+    3: (4, 3),
+    4: (5, 3),
+    5: (5, 3),
+    6: (4, 6),
+    7: (3, 7),
+    8: (4, 6),
+    9: (5, 6),
+    10: (6, 5),
+    11: (6, 7),
+    12: (6, 7),
+    13: (6, 8),
+    14: (4, 5),
+    15: (4, 5),
+    16: (4, 5),
+    17: (4, 5),
+    18: (4, 8),
+    19: (4, 8),
+    20: (4, 9),
+    21: (5, 11),
+    22: (7, 19),
+    23: (7, 15),
+    24: (2, 12),
+}
+
+
+class TestTable1Library:
+    def test_has_25_polynomials(self):
+        assert len(TABLE1) == 25
+        assert [g.gate_id for g in TABLE1] == list(range(25))
+
+    def test_gate_by_id(self):
+        assert gate_by_id(22).name == "Jellyfish ZeroCheck"
+
+    @pytest.mark.parametrize("gate_id", range(25))
+    def test_shapes(self, gate_id):
+        spec = gate_by_id(gate_id)
+        degree, uniq = EXPECTED_TABLE1_SHAPES[gate_id]
+        assert spec.degree == degree, f"{spec.name}: degree {spec.degree}"
+        assert spec.num_unique_mles == uniq, (
+            f"{spec.name}: {spec.num_unique_mles} unique MLEs "
+            f"({spec.compiled.mle_names})"
+        )
+
+    def test_vanilla_zerocheck_structure(self):
+        """f_plonk * fr: 5 terms, 8 constituent polys + fr (§II-C1)."""
+        spec = gate_by_id(20)
+        assert spec.num_terms == 5
+        assert spec.degree == 4  # degree-3 gate × fr
+        assert "fr" in spec.compiled.mle_names
+
+    def test_jellyfish_has_degree_7_and_quintic_terms(self):
+        spec = gate_by_id(22)
+        assert spec.degree == 7
+        quintics = [
+            m for m in spec.compiled.monomials
+            if any(p == 5 for _, p in m.factors)
+        ]
+        assert len(quintics) == 4  # qH1..qH4 hash terms
+
+    def test_permcheck_scalars(self):
+        assert gate_by_id(21).compiled.scalar_names == ["alpha"]
+        assert gate_by_id(23).compiled.scalar_names == ["alpha"]
+
+    def test_icicle_limit_motivation(self):
+        """Polys 21-24 exceed ICICLE's 8-unique-MLE limit (§VI-A4)."""
+        for gate_id in (21, 22, 23, 24):
+            assert gate_by_id(gate_id).num_unique_mles > 8
+        # while poly 20 (minus fr) fits
+        assert gate_by_id(20).num_unique_mles - 1 <= 8
+
+    @pytest.mark.parametrize("gate_id", range(25))
+    def test_all_gates_bind_and_evaluate(self, gate_id, rng):
+        """Every Table I gate binds into a working VirtualPolynomial."""
+        spec = gate_by_id(gate_id)
+        scalars = {s: rng.randrange(1, P) for s in spec.compiled.scalar_names}
+        terms = spec.compiled.bind(Fr, scalars)
+        mles = {
+            name: DenseMLE.random(Fr, 2, rng)
+            for name in spec.compiled.mle_names
+        }
+        vp = VirtualPolynomial(Fr, terms, mles)
+        assert vp.degree == spec.degree
+        vp.sum_over_hypercube()  # smoke: evaluates without error
+
+
+class TestSweepFamily:
+    @pytest.mark.parametrize("d", [2, 5, 18, 30])
+    def test_sweep_gate_degree(self, d):
+        spec = high_degree_sweep_gate(d)
+        # q3 * w1^(d-1) * w2 has total degree d+1
+        assert spec.degree == d + 1
+        assert spec.num_terms == 4
+
+    def test_sweep_gate_with_fr(self):
+        spec = high_degree_sweep_gate(5, with_fr=True)
+        assert spec.degree == 7  # +1 selector +1 fr
+        assert "fr" in spec.compiled.mle_names
+
+    def test_degree_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            high_degree_sweep_gate(1)

@@ -1,0 +1,196 @@
+"""Tests for circuit building, arithmetization, and permutation tables."""
+
+import pytest
+
+from repro.fields import Fr
+from repro.hyperplonk import JELLYFISH, VANILLA, CircuitBuilder
+from repro.hyperplonk.permutation import build_permutation_data
+from repro.mle import DenseMLE
+
+P = Fr.modulus
+
+
+def simple_vanilla():
+    b = CircuitBuilder(VANILLA, Fr)
+    x = b.new_wire(3)
+    y = b.new_wire(5)
+    s = b.add(x, y)
+    m = b.mul(s, x)
+    c = b.constant(24)
+    b.assert_equal(m, c)
+    return b, b.build()
+
+
+class TestBuilder:
+    def test_gate_count_padded_to_power_of_two(self):
+        _, circuit = simple_vanilla()
+        assert circuit.num_gates == 4
+        assert circuit.num_vars == 2
+
+    def test_min_gates(self):
+        b, _ = simple_vanilla()
+        assert b.build(min_gates=16).num_gates == 16
+
+    def test_all_gates_satisfied(self):
+        _, circuit = simple_vanilla()
+        assert circuit.check_gates() == []
+
+    def test_bad_witness_detected(self):
+        b = CircuitBuilder(VANILLA, Fr)
+        x = b.new_wire(3)
+        y = b.new_wire(4)
+        c = b.add(x, y)
+        # corrupt the output wire value
+        b._values[c.index] = 99
+        circuit = b.build()
+        assert 0 in circuit.check_gates()
+
+    def test_unknown_selector_rejected(self):
+        b = CircuitBuilder(VANILLA, Fr)
+        with pytest.raises(ValueError):
+            b.add_gate({"qZZ": 1}, [b.zero, b.zero, b.zero])
+
+    def test_wrong_wire_arity_rejected(self):
+        b = CircuitBuilder(VANILLA, Fr)
+        with pytest.raises(ValueError):
+            b.add_gate({"qL": 1}, [b.zero])
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(ValueError):
+            CircuitBuilder(VANILLA, Fr).build()
+
+    def test_jellyfish_pow5_single_gate(self):
+        b = CircuitBuilder(JELLYFISH, Fr)
+        x = b.new_wire(7)
+        h = b.pow5(x)
+        assert b.value_of(h) == pow(7, 5, P)
+        assert len(b.rows) == 1  # one gate, not three
+
+    def test_vanilla_pow5_is_three_gates(self):
+        b = CircuitBuilder(VANILLA, Fr)
+        x = b.new_wire(7)
+        h = b.pow5(x)
+        assert b.value_of(h) == pow(7, 5, P)
+        assert len(b.rows) == 3  # square, square, multiply
+
+    def test_jellyfish_gates_satisfied(self):
+        b = CircuitBuilder(JELLYFISH, Fr)
+        x = b.new_wire(2)
+        h = b.pow5(x)
+        y = b.add(h, x)
+        b.assert_equal(y, b.constant(34))
+        circuit = b.build()
+        assert circuit.check_gates() == []
+
+    def test_constraint_value_helper(self):
+        assert VANILLA.constraint_value(
+            Fr, {"qM": 1, "qO": 1}, [6, 7, 42]
+        ) == 0
+        assert VANILLA.constraint_value(
+            Fr, {"qM": 1, "qO": 1}, [6, 7, 41]
+        ) != 0
+
+
+class TestTables:
+    def test_selector_tables_shapes(self):
+        _, circuit = simple_vanilla()
+        tables = circuit.selector_tables()
+        assert set(tables) == set(VANILLA.selector_names)
+        assert all(len(t) == 4 for t in tables.values())
+
+    def test_witness_tables_values(self):
+        _, circuit = simple_vanilla()
+        w = circuit.witness_tables()
+        # first gate is the addition: w1=3, w2=5, w3=8
+        assert w["w1"].table[0] == 3
+        assert w["w2"].table[0] == 5
+        assert w["w3"].table[0] == 8
+
+    def test_identity_tables_are_slot_labels(self):
+        _, circuit = simple_vanilla()
+        ids = circuit.identity_tables()
+        n = circuit.num_gates
+        for col in range(1, 4):
+            assert ids[f"id{col}"].table == [
+                ((col - 1) * n + r) % P for r in range(n)
+            ]
+
+    def test_sigma_is_a_permutation(self):
+        _, circuit = simple_vanilla()
+        sigmas = circuit.permutation_tables()
+        n = circuit.num_gates
+        all_labels = sorted(
+            v for s in sigmas.values() for v in s.table
+        )
+        assert all_labels == list(range(3 * n))
+
+    def test_sigma_respects_copy_constraints(self):
+        """σ maps each slot within its wire class: the witness value at a
+        slot equals the value at σ(slot)."""
+        _, circuit = simple_vanilla()
+        sigmas = circuit.permutation_tables()
+        witness = circuit.witness_tables()
+        n = circuit.num_gates
+        flat = []
+        for col in range(1, 4):
+            flat.extend(witness[f"w{col}"].table)
+        for col in range(1, 4):
+            for row in range(n):
+                dest = sigmas[f"sigma{col}"].table[row]
+                assert flat[(col - 1) * n + row] == flat[dest]
+
+    def test_sigma_nontrivial(self):
+        """Shared wires must induce a non-identity permutation."""
+        _, circuit = simple_vanilla()
+        sigmas = circuit.permutation_tables()
+        n = circuit.num_gates
+        identity = True
+        for col in range(1, 4):
+            for row in range(n):
+                if sigmas[f"sigma{col}"].table[row] != (col - 1) * n + row:
+                    identity = False
+        assert not identity
+
+
+class TestPermutationData:
+    def _perm(self, rng, tamper=False):
+        _, circuit = simple_vanilla()
+        witness = circuit.witness_tables()
+        if tamper:
+            t = list(witness["w1"].table)
+            t[0] = (t[0] + 1) % P
+            witness["w1"] = DenseMLE(Fr, t)
+        return build_permutation_data(
+            Fr, witness, circuit.identity_tables(),
+            circuit.permutation_tables(),
+            beta=rng.randrange(1, P), gamma=rng.randrange(1, P),
+        )
+
+    def test_valid_wiring_gives_root_one(self, rng):
+        assert self._perm(rng).root == 1
+
+    def test_tampered_wiring_breaks_root(self, rng):
+        assert self._perm(rng, tamper=True).root != 1
+
+    def test_tree_slices_consistent(self, rng):
+        perm = self._perm(rng)
+        tree = perm.prod_tree.table
+        size = len(tree) // 2
+        # constraint π(t) = p1(t)·p2(t) holds everywhere by construction
+        for t in range(size):
+            assert perm.pi.table[t] == (
+                perm.p1.table[t] * perm.p2.table[t] % P
+            )
+
+    def test_phi_is_fraction(self, rng):
+        perm = self._perm(rng)
+        size = len(perm.phi.table)
+        for i in range(size):
+            num = den = 1
+            for col in range(1, 4):
+                num = num * perm.numerators[f"N{col}"].table[i] % P
+                den = den * perm.denominators[f"D{col}"].table[i] % P
+            assert perm.phi.table[i] * den % P == num
+
+    def test_filler_slot_is_one(self, rng):
+        assert self._perm(rng).prod_tree.table[-1] == 1

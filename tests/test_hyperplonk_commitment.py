@@ -1,0 +1,132 @@
+"""Tests for the multilinear KZG commitment scheme."""
+
+import random
+
+import pytest
+
+from repro.fields import Fr
+from repro.hyperplonk.commitment import (
+    Commitment,
+    MultilinearKZG,
+    Opening,
+    TrapdoorSRS,
+)
+from repro.mle import DenseMLE
+
+P = Fr.modulus
+
+
+@pytest.fixture(scope="module")
+def kzg():
+    return MultilinearKZG(TrapdoorSRS(4, random.Random(0xABCD)))
+
+
+@pytest.fixture
+def mle(rng):
+    return DenseMLE.random(Fr, 3, rng)
+
+
+class TestCommit:
+    def test_commit_is_deterministic(self, kzg, mle):
+        assert kzg.commit(mle).point == kzg.commit(mle).point
+
+    def test_commit_binds_to_table(self, kzg, mle, rng):
+        other = DenseMLE.random(Fr, 3, rng)
+        assert kzg.commit(mle).point != kzg.commit(other).point
+
+    def test_commit_zero_polynomial(self, kzg):
+        assert kzg.commit(DenseMLE.zeros(Fr, 3)).point.inf
+
+    def test_commit_is_linear(self, kzg, rng):
+        """C(f + g) = C(f) + C(g) — homomorphism used by the RLC opening."""
+        f = DenseMLE.random(Fr, 3, rng)
+        g = DenseMLE.random(Fr, 3, rng)
+        fg = f.pointwise_add(g)
+        assert kzg.commit(fg).point == kzg.commit(f).point.add(kzg.commit(g).point)
+
+    def test_commit_scale(self, kzg, rng):
+        f = DenseMLE.random(Fr, 3, rng)
+        k = rng.randrange(2, P)
+        assert kzg.commit(f.scaled(k)).point == kzg.commit(f).scale(k).point
+
+    def test_arity_above_srs_rejected(self, kzg, rng):
+        with pytest.raises(ValueError):
+            kzg.commit(DenseMLE.random(Fr, 5, rng))
+
+
+class TestOpenVerify:
+    def test_honest_opening_verifies(self, kzg, mle, rng):
+        point = [rng.randrange(P) for _ in range(3)]
+        opening = kzg.open(mle, point)
+        assert opening.value == mle.evaluate(point)
+        assert kzg.verify(kzg.commit(mle), opening)
+
+    def test_opening_at_hypercube_point(self, kzg, mle):
+        opening = kzg.open(mle, [1, 0, 1])
+        assert opening.value == mle.table[0b101]
+        assert kzg.verify(kzg.commit(mle), opening)
+
+    def test_lower_arity_opening(self, kzg, rng):
+        """Suffix-secret SRS serves smaller polynomials too."""
+        f = DenseMLE.random(Fr, 2, rng)
+        point = [rng.randrange(P) for _ in range(2)]
+        assert kzg.verify(kzg.commit(f), kzg.open(f, point))
+
+    def test_max_arity_opening(self, kzg, rng):
+        f = DenseMLE.random(Fr, 4, rng)
+        point = [rng.randrange(P) for _ in range(4)]
+        assert kzg.verify(kzg.commit(f), kzg.open(f, point))
+
+    def test_wrong_value_rejected(self, kzg, mle, rng):
+        point = [rng.randrange(P) for _ in range(3)]
+        opening = kzg.open(mle, point)
+        bad = Opening(opening.point, (opening.value + 1) % P, opening.quotients)
+        assert not kzg.verify(kzg.commit(mle), bad)
+
+    def test_wrong_commitment_rejected(self, kzg, mle, rng):
+        point = [rng.randrange(P) for _ in range(3)]
+        opening = kzg.open(mle, point)
+        other = kzg.commit(DenseMLE.random(Fr, 3, rng))
+        assert not kzg.verify(other, opening)
+
+    def test_swapped_quotients_rejected(self, kzg, mle, rng):
+        point = [rng.randrange(P) for _ in range(3)]
+        opening = kzg.open(mle, point)
+        qs = list(opening.quotients)
+        qs[0], qs[1] = qs[1], qs[0]
+        bad = Opening(opening.point, opening.value, tuple(qs))
+        # quotient order matters (distinct secrets per variable)
+        assert not kzg.verify(kzg.commit(mle), bad)
+
+    def test_arity_mismatch_rejected(self, kzg, mle, rng):
+        opening = kzg.open(mle, [1, 2, 3])
+        wrong = Commitment(kzg.commit(mle).point, 4)
+        assert not kzg.verify(wrong, opening)
+
+    def test_point_arity_check(self, kzg, mle):
+        with pytest.raises(ValueError):
+            kzg.open(mle, [1, 2])
+
+    def test_quotient_count(self, kzg, mle):
+        opening = kzg.open(mle, [5, 6, 7])
+        assert len(opening.quotients) == 3
+        assert opening.size_bytes == 32 + 3 * 48
+
+    def test_opening_of_constant_shift(self, kzg, rng):
+        """f and f + c open consistently (homomorphic shift)."""
+        f = DenseMLE.random(Fr, 3, rng)
+        c = rng.randrange(P)
+        g = DenseMLE(Fr, [(v + c) % P for v in f.table])
+        point = [rng.randrange(P) for _ in range(3)]
+        assert (kzg.open(g, point).value - kzg.open(f, point).value) % P == c
+
+
+class TestCommitmentAlgebra:
+    def test_add_arity_mismatch(self, kzg, rng):
+        c1 = kzg.commit(DenseMLE.random(Fr, 3, rng))
+        c2 = kzg.commit(DenseMLE.random(Fr, 2, rng))
+        with pytest.raises(ValueError):
+            c1.add(c2)
+
+    def test_size_constant(self):
+        assert Commitment.SIZE_BYTES == 48

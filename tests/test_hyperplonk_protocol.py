@@ -1,0 +1,264 @@
+"""End-to-end HyperPlonk protocol tests: completeness and soundness."""
+
+import random
+
+import pytest
+
+from repro.fields import Fr, OpCounter
+from repro.hyperplonk import (
+    JELLYFISH,
+    VANILLA,
+    CircuitBuilder,
+    HyperPlonkError,
+    HyperPlonkProver,
+    HyperPlonkVerifier,
+    MultilinearKZG,
+    TrapdoorSRS,
+    preprocess,
+)
+from repro.hyperplonk.opencheck import (
+    EvalClaim,
+    prove_opencheck,
+    verify_opencheck,
+)
+from repro.mle import DenseMLE
+from repro.sumcheck import SumCheckError, Transcript
+
+P = Fr.modulus
+
+
+def vanilla_circuit(min_gates=1):
+    b = CircuitBuilder(VANILLA, Fr)
+    x = b.new_wire(3)
+    y = b.new_wire(5)
+    s = b.add(x, y)
+    m = b.mul(s, x)
+    b.assert_equal(m, b.constant(24))
+    return b, b.build(min_gates=min_gates)
+
+
+def jellyfish_circuit():
+    b = CircuitBuilder(JELLYFISH, Fr)
+    x = b.new_wire(3)
+    h = b.pow5(x)
+    y = b.add(h, x)
+    z = b.mul(y, h)
+    b.assert_equal(z, b.constant(246 * 243 % P))
+    return b, b.build(min_gates=8)
+
+
+def setup(circuit, seed=7):
+    srs = TrapdoorSRS(circuit.num_vars + 1, random.Random(seed))
+    kzg = MultilinearKZG(srs)
+    pidx, vidx = preprocess(circuit, kzg)
+    return kzg, pidx, vidx
+
+
+class TestCompleteness:
+    def test_vanilla_roundtrip(self):
+        _, circuit = vanilla_circuit()
+        kzg, pidx, vidx = setup(circuit)
+        proof = HyperPlonkProver(circuit, pidx, kzg).prove()
+        HyperPlonkVerifier(Fr, vidx, kzg).verify(proof)
+
+    def test_jellyfish_roundtrip(self):
+        _, circuit = jellyfish_circuit()
+        kzg, pidx, vidx = setup(circuit)
+        proof = HyperPlonkProver(circuit, pidx, kzg).prove()
+        HyperPlonkVerifier(Fr, vidx, kzg).verify(proof)
+
+    def test_larger_circuit(self):
+        """A 16-gate circuit with a longer mul chain."""
+        b = CircuitBuilder(VANILLA, Fr)
+        acc = b.new_wire(2)
+        for _ in range(5):
+            acc = b.mul(acc, acc)
+        expected = pow(2, 2**5, P)
+        b.assert_equal(acc, b.constant(expected))
+        circuit = b.build(min_gates=16)
+        assert circuit.check_gates() == []
+        kzg, pidx, vidx = setup(circuit)
+        proof = HyperPlonkProver(circuit, pidx, kzg).prove()
+        HyperPlonkVerifier(Fr, vidx, kzg).verify(proof)
+
+    def test_proof_is_deterministic(self):
+        _, circuit = vanilla_circuit()
+        kzg, pidx, vidx = setup(circuit)
+        p1 = HyperPlonkProver(circuit, pidx, kzg).prove()
+        p2 = HyperPlonkProver(circuit, pidx, kzg).prove()
+        assert p1.gate_zerocheck.challenges == p2.gate_zerocheck.challenges
+        assert p1.size_bytes() == p2.size_bytes()
+
+    def test_op_counter_collects_phases(self):
+        _, circuit = vanilla_circuit()
+        kzg, pidx, vidx = setup(circuit)
+        counter = OpCounter()
+        HyperPlonkProver(circuit, pidx, kzg).prove(counter)
+        assert counter.labels["witness_msm"] == 3
+        assert counter.labels["permcheck_msm"] == 2
+        assert counter.mul > 0 and counter.inv > 0
+
+    def test_proof_size_reported(self):
+        _, circuit = vanilla_circuit()
+        kzg, pidx, vidx = setup(circuit)
+        proof = HyperPlonkProver(circuit, pidx, kzg).prove()
+        assert 1000 < proof.size_bytes() < 20000
+
+
+class TestSoundness:
+    @pytest.fixture
+    def proven(self):
+        _, circuit = vanilla_circuit()
+        kzg, pidx, vidx = setup(circuit)
+        proof = HyperPlonkProver(circuit, pidx, kzg).prove()
+        return proof, HyperPlonkVerifier(Fr, vidx, kzg)
+
+    def test_bad_witness_rejected(self):
+        """A witness violating a gate produces an unverifiable proof."""
+        b, _ = vanilla_circuit()
+        b._values[2] = 9  # corrupt s = x + y
+        circuit = b.build()
+        assert circuit.check_gates() != []
+        kzg, pidx, vidx = setup(circuit)
+        proof = HyperPlonkProver(circuit, pidx, kzg).prove()
+        with pytest.raises(HyperPlonkError):
+            HyperPlonkVerifier(Fr, vidx, kzg).verify(proof)
+
+    def test_wiring_violation_rejected(self):
+        """Consistent gates but broken copy constraints: PermCheck fires.
+
+        We rebuild the circuit replacing a *shared* wire use with a fresh
+        wire of a different value — all gates still hold locally."""
+        b = CircuitBuilder(VANILLA, Fr)
+        x = b.new_wire(3)
+        y = b.new_wire(5)
+        s = b.add(x, y)  # 8
+        # next gate claims to use s but uses an impostor wire with value 9
+        impostor = b.new_wire(9)
+        m_val = 9 * 3 % P
+        m = b.new_wire(m_val)
+        b.add_gate({"qM": 1, "qO": 1}, [impostor, x, m])
+        circuit = b.build()
+        assert circuit.check_gates() == []  # locally consistent
+        # now forge: pretend impostor IS s by overwriting sigma tables —
+        # the honest arithmetization of the forged wiring simply differs,
+        # so instead we prove the original circuit against an index built
+        # from a *different* wiring claim.
+        b2 = CircuitBuilder(VANILLA, Fr)
+        x2 = b2.new_wire(3)
+        y2 = b2.new_wire(5)
+        s2 = b2.add(x2, y2)
+        m2 = b2.new_wire(m_val)
+        b2.add_gate({"qM": 1, "qO": 1}, [s2, x2, m2])  # claims s is reused
+        circuit_claimed = b2.build()
+        kzg, pidx, vidx = setup(circuit_claimed)
+        # prover uses the claimed index but the impostor witness tables
+        pidx.selectors = circuit.selector_tables()
+        proof_circuit = circuit  # witness with impostor value 9
+        proof = HyperPlonkProver(proof_circuit, pidx, kzg).prove()
+        with pytest.raises(HyperPlonkError):
+            HyperPlonkVerifier(Fr, vidx, kzg).verify(proof)
+
+    @pytest.mark.parametrize("mutation", [
+        "claim", "round", "final", "witness_commit", "tree_value",
+        "perm_eval", "opencheck_value",
+    ])
+    def test_tampered_proofs_rejected(self, proven, mutation):
+        proof, verifier = proven
+        if mutation == "claim":
+            proof.gate_zerocheck.claim = 1
+        elif mutation == "round":
+            proof.perm_zerocheck.round_evals[0][0] = (
+                proof.perm_zerocheck.round_evals[0][0] + 1
+            ) % P
+        elif mutation == "final":
+            proof.gate_zerocheck.final_evals["w1"] = (
+                proof.gate_zerocheck.final_evals["w1"] + 1
+            ) % P
+        elif mutation == "witness_commit":
+            proof.witness_commitments["w1"] = proof.witness_commitments["w2"]
+        elif mutation == "tree_value":
+            op = proof.tree_openings["root"]
+            from repro.hyperplonk.commitment import Opening
+
+            proof.tree_openings["root"] = Opening(op.point, 2, op.quotients)
+        elif mutation == "perm_eval":
+            proof.perm_sigma_evals["sigma1"] = (
+                proof.perm_sigma_evals["sigma1"] + 1
+            ) % P
+        elif mutation == "opencheck_value":
+            sc = proof.opencheck.sumcheck
+            name = next(iter(sc.final_evals))
+            sc.final_evals[name] = (sc.final_evals[name] + 1) % P
+        with pytest.raises(HyperPlonkError):
+            verifier.verify(proof)
+
+    def test_wrong_index_rejected(self):
+        _, circuit = vanilla_circuit()
+        kzg, pidx, _ = setup(circuit)
+        proof = HyperPlonkProver(circuit, pidx, kzg).prove()
+        # verifier with an index for a *different* circuit
+        b2 = CircuitBuilder(VANILLA, Fr)
+        w = b2.new_wire(1)
+        b2.mul(w, w)
+        b2.add(w, w)
+        b2.constant(5)
+        b2.add(w, w)
+        circuit2 = b2.build()
+        kzg2, _, vidx2 = setup(circuit2)
+        with pytest.raises(HyperPlonkError):
+            HyperPlonkVerifier(Fr, vidx2, kzg).verify(proof)
+
+
+class TestOpenCheck:
+    def _claims_env(self, rng, n_polys=3, num_vars=3):
+        srs = TrapdoorSRS(num_vars, rng)
+        kzg = MultilinearKZG(srs)
+        polys = {
+            f"P{i}": DenseMLE.random(Fr, num_vars, rng) for i in range(n_polys)
+        }
+        commitments = {n: kzg.commit(m) for n, m in polys.items()}
+        claims = []
+        for i, (name, mle) in enumerate(sorted(polys.items())):
+            point = tuple(rng.randrange(P) for _ in range(num_vars))
+            claims.append(EvalClaim(name, point, mle.evaluate(point)))
+        return kzg, polys, commitments, claims
+
+    def test_roundtrip(self, rng):
+        kzg, polys, commitments, claims = self._claims_env(rng)
+        proof = prove_opencheck(Fr, claims, polys, kzg, Transcript(Fr))
+        verify_opencheck(Fr, claims, commitments, proof, kzg, Transcript(Fr))
+
+    def test_same_poly_two_points(self, rng):
+        kzg, polys, commitments, claims = self._claims_env(rng, n_polys=2)
+        extra_pt = tuple(rng.randrange(P) for _ in range(3))
+        claims.append(EvalClaim("P0", extra_pt, polys["P0"].evaluate(extra_pt)))
+        proof = prove_opencheck(Fr, claims, polys, kzg, Transcript(Fr))
+        verify_opencheck(Fr, claims, commitments, proof, kzg, Transcript(Fr))
+
+    def test_false_claim_rejected(self, rng):
+        kzg, polys, commitments, claims = self._claims_env(rng)
+        bad = EvalClaim(claims[0].poly_name, claims[0].point,
+                        (claims[0].value + 1) % P)
+        claims[0] = bad
+        proof = prove_opencheck(Fr, claims, polys, kzg, Transcript(Fr))
+        with pytest.raises(SumCheckError):
+            verify_opencheck(Fr, claims, commitments, proof, kzg, Transcript(Fr))
+
+    def test_wrong_commitment_rejected(self, rng):
+        kzg, polys, commitments, claims = self._claims_env(rng)
+        proof = prove_opencheck(Fr, claims, polys, kzg, Transcript(Fr))
+        commitments["P0"] = commitments["P1"]
+        with pytest.raises(SumCheckError):
+            verify_opencheck(Fr, claims, commitments, proof, kzg, Transcript(Fr))
+
+    def test_empty_claims_rejected(self, rng):
+        kzg, polys, commitments, _ = self._claims_env(rng)
+        with pytest.raises(ValueError):
+            prove_opencheck(Fr, [], polys, kzg, Transcript(Fr))
+
+    def test_mixed_arity_rejected(self, rng):
+        kzg, polys, commitments, claims = self._claims_env(rng)
+        claims.append(EvalClaim("P0", (1, 2), 3))
+        with pytest.raises(ValueError):
+            prove_opencheck(Fr, claims, polys, kzg, Transcript(Fr))

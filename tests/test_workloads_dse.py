@@ -1,0 +1,128 @@
+"""Tests for the workload catalog and the DSE machinery."""
+
+import pytest
+
+from repro.experiments import setups
+from repro.hw.config import MSMUnitConfig, SumCheckUnitConfig
+from repro.hw.dse import (
+    DesignPoint,
+    accelerator_dse,
+    enumerate_sumcheck_configs,
+    geomean,
+    pareto_frontier,
+    sumcheck_dse,
+)
+from repro.workloads import WORKLOADS, Workload, workload_by_name
+
+
+class TestCatalog:
+    def test_all_paper_workloads_present(self):
+        names = {w.name for w in WORKLOADS}
+        for expected in ("ZCash", "Zexe", "Rollup 25 Pvt Tx",
+                         "Rollup 1600 Pvt Tx", "zkEVM"):
+            assert expected in names
+
+    def test_lookup_case_insensitive(self):
+        assert workload_by_name("zcash").name == "ZCash"
+        with pytest.raises(KeyError):
+            workload_by_name("nonexistent")
+
+    def test_gate_counts(self):
+        w = workload_by_name("Rollup 25 Pvt Tx")
+        assert w.vanilla_gates == 1 << 24
+        assert w.jellyfish_gates == 1 << 19
+        assert w.jellyfish_reduction == 32.0
+
+    def test_zkevm_has_no_vanilla_count(self):
+        w = workload_by_name("zkEVM")
+        assert w.vanilla_gates is None
+        assert w.jellyfish_reduction is None
+
+    def test_cpu_baselines_scale_with_size(self):
+        """Bigger circuits take longer on CPU (Table VI sanity)."""
+        timed = [(w.vanilla_log2, w.cpu_vanilla_s) for w in WORKLOADS
+                 if w.vanilla_log2 is not None and w.cpu_vanilla_s]
+        timed.sort()
+        times = [t for _, t in timed]
+        assert times == sorted(times)
+
+
+class TestParetoFrontier:
+    def _pt(self, runtime, area):
+        cfg = __import__("repro.hw.config", fromlist=["AcceleratorConfig"])
+        return DesignPoint(config=None, runtime_s=runtime, area_mm2=area)
+
+    def test_dominated_points_removed(self):
+        pts = [self._pt(1.0, 100), self._pt(2.0, 50), self._pt(1.5, 120),
+               self._pt(3.0, 40)]
+        front = pareto_frontier(pts)
+        assert [(p.runtime_s, p.area_mm2) for p in front] == [
+            (1.0, 100), (2.0, 50), (3.0, 40)]
+
+    def test_single_point(self):
+        front = pareto_frontier([self._pt(1.0, 1.0)])
+        assert len(front) == 1
+
+    def test_geomean(self):
+        assert geomean([1.0, 100.0]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geomean([])
+
+
+class TestSumCheckDSE:
+    def test_area_budget_respected(self):
+        configs = enumerate_sumcheck_configs(10.0)
+        assert configs
+        from repro.hw.area import standalone_sumcheck_area
+
+        assert all(standalone_sumcheck_area(c, 0.0) <= 10.0 for c in configs)
+
+    def test_no_configs_raises(self):
+        polys = setups.training_set(num_vars=10)[:2]
+        with pytest.raises(ValueError):
+            sumcheck_dse(polys, area_budget_mm2=0.001, bandwidth_gbps=512)
+
+    def test_objective_prefers_utilization_at_high_lambda(self):
+        polys = setups.training_set(num_vars=12)[:4]
+        grid = [SumCheckUnitConfig(pes=p, ees_per_pe=e, pls_per_pe=5,
+                                   sram_bank_words=1024)
+                for p in (2, 16) for e in (2, 7)]
+        util_pick = sumcheck_dse(polys, 40.0, 1024, lam=0.99, configs=grid)
+        perf_pick = sumcheck_dse(polys, 40.0, 1024, lam=0.0, configs=grid)
+        assert util_pick.mean_utilization >= perf_pick.mean_utilization - 1e-9
+
+    def test_best_design_has_objective_set(self):
+        polys = setups.training_set(num_vars=10)[:3]
+        grid = [SumCheckUnitConfig(pes=4, ees_per_pe=3, pls_per_pe=5)]
+        best = sumcheck_dse(polys, 50.0, 512, configs=grid)
+        assert best.objective > 0
+        assert set(best.latencies) == {n for n, _, _ in polys}
+
+
+class TestAcceleratorDSE:
+    def test_small_sweep_produces_points(self):
+        sc_grid = [SumCheckUnitConfig(pes=p, ees_per_pe=4, pls_per_pe=5,
+                                      sram_bank_words=1024) for p in (4, 16)]
+        msm_grid = [MSMUnitConfig(pes=p, window_bits=9) for p in (8, 32)]
+        points = accelerator_dse("jellyfish", 20, 1024,
+                                 sc_grid=sc_grid, msm_grid=msm_grid)
+        assert points
+        for p in points:
+            assert p.runtime_s > 0 and p.area_mm2 > 0
+
+    def test_pareto_of_sweep_is_subset(self):
+        sc_grid = [SumCheckUnitConfig(pes=4, ees_per_pe=4, pls_per_pe=5)]
+        msm_grid = [MSMUnitConfig(pes=p, window_bits=9) for p in (8, 32)]
+        points = accelerator_dse("vanilla", 18, 512,
+                                 sc_grid=sc_grid, msm_grid=msm_grid)
+        front = pareto_frontier(points)
+        assert 0 < len(front) <= len(points)
+
+    def test_masking_flag_propagates(self):
+        sc_grid = [SumCheckUnitConfig(pes=4, ees_per_pe=4, pls_per_pe=5)]
+        msm_grid = [MSMUnitConfig(pes=8, window_bits=9)]
+        masked = accelerator_dse("jellyfish", 18, 1024, sc_grid=sc_grid,
+                                 msm_grid=msm_grid, mask_zerocheck=True)
+        unmasked = accelerator_dse("jellyfish", 18, 1024, sc_grid=sc_grid,
+                                   msm_grid=msm_grid, mask_zerocheck=False)
+        assert masked[0].runtime_s <= unmasked[0].runtime_s
