@@ -13,8 +13,9 @@ coupled layers:
   calibrated baselines, and the design-space exploration that regenerates
   every table and figure in the paper's evaluation.
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record.
+See DESIGN.md for the system inventory (including the pluggable
+field-vector backend layer behind the fast-path SumCheck prover) and
+BENCH_sumcheck.json for the recorded fast-path perf trajectory.
 """
 
 __version__ = "0.1.0"

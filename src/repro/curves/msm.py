@@ -17,6 +17,7 @@ import math
 from typing import Sequence
 
 from repro.curves.curve import AffinePoint, JacobianPoint
+from repro.fields.vector import window_decompose
 
 
 def msm_naive(scalars: Sequence[int], points: Sequence[AffinePoint]) -> AffinePoint:
@@ -61,13 +62,14 @@ def msm_pippenger(
     scalars = [k % order for k in scalars]
     c = window_bits or optimal_window_bits(len(points))
     num_windows = (order.bit_length() + c - 1) // c
+    # batched scalar slicing: every scalar is decomposed into its digits
+    # once, instead of re-shifting the whole vector per window
+    digits = window_decompose(scalars, c, num_windows)
 
     window_sums: list[JacobianPoint] = []
     for w in range(num_windows):
-        shift = w * c
         buckets: list[JacobianPoint | None] = [None] * ((1 << c) - 1)
-        for k, pt in zip(scalars, points):
-            v = (k >> shift) & ((1 << c) - 1)
+        for v, pt in zip(digits[w], points):
             if v == 0 or pt.inf:
                 continue
             slot = v - 1

@@ -12,13 +12,27 @@ zkPHIRE operates over the BLS12-381 curve: the scalar field ``Fr``
 * :mod:`~repro.fields.montgomery` — a Montgomery-domain arithmetic model
   mirroring the hardware modular multipliers zkPHIRE synthesizes,
 * :class:`~repro.fields.counters.OpCounter` — explicit operation counting
-  used to validate the hardware performance model against functional runs.
+  used to validate the hardware performance model against functional runs,
+* :mod:`~repro.fields.vector` — batched field-vector kernels
+  (:class:`~repro.fields.vector.FieldVec`) behind a pluggable backend
+  registry (``reference`` / ``fused``), the substrate of the fast-path
+  SumCheck prover.
 """
 
 from repro.fields.prime_field import Felt, PrimeField, batch_inverse
 from repro.fields.bls12_381 import FQ_MODULUS, FR_MODULUS, Fq, Fr
 from repro.fields.montgomery import MontgomeryContext
 from repro.fields.counters import OpCounter
+from repro.fields.vector import (
+    FieldVec,
+    FusedBackend,
+    ReferenceBackend,
+    VectorBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    window_decompose,
+)
 
 __all__ = [
     "Felt",
@@ -30,4 +44,12 @@ __all__ = [
     "Fr",
     "MontgomeryContext",
     "OpCounter",
+    "FieldVec",
+    "VectorBackend",
+    "ReferenceBackend",
+    "FusedBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "window_decompose",
 ]

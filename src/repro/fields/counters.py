@@ -4,7 +4,7 @@ The hardware performance model (``repro.hw``) predicts how many modular
 multiplications, additions, and inversions each protocol phase performs.
 Functional provers accept an optional :class:`OpCounter` and increment it
 on every field operation, letting tests assert that the model's predicted
-operation counts match reality exactly (DESIGN.md §6).
+operation counts match reality exactly (DESIGN.md §4).
 """
 
 from __future__ import annotations

@@ -80,12 +80,23 @@ class HyperPlonkProof:
 
 
 class HyperPlonkProver:
-    def __init__(self, circuit: Circuit, index: ProverIndex, kzg: MultilinearKZG):
+    def __init__(
+        self,
+        circuit: Circuit,
+        index: ProverIndex,
+        kzg: MultilinearKZG,
+        backend=None,
+    ):
+        """``backend`` selects the field-vector backend used by every
+        inner SumCheck (see :mod:`repro.fields.vector`).  ``None`` keeps
+        the original scalar path; ``"fused"`` is the fast path and emits
+        a bit-identical proof."""
         if index.num_vars != circuit.num_vars:
             raise ValueError("index/circuit size mismatch")
         self.circuit = circuit
         self.index = index
         self.kzg = kzg
+        self.backend = backend
 
     def prove(self, counter: OpCounter | None = None) -> HyperPlonkProof:
         field = self.circuit.field
@@ -107,7 +118,10 @@ class HyperPlonkProver:
         gate_terms = gate_identity_terms(gate_type.zerocheck_gate_id)
         gate_mles = dict(self.index.selectors)
         gate_mles.update(witness)
-        gate_zc = prove_zerocheck(field, gate_terms, gate_mles, transcript, counter)
+        gate_zc = prove_zerocheck(
+            field, gate_terms, gate_mles, transcript, counter,
+            backend=self.backend,
+        )
         rho_g = gate_zc.challenges
 
         # -- 3. wire identity (PermCheck) -----------------------------------
@@ -129,7 +143,10 @@ class HyperPlonkProver:
         perm_mles = {"pi": perm.pi, "p1": perm.p1, "p2": perm.p2, "phi": perm.phi}
         perm_mles.update(perm.numerators)
         perm_mles.update(perm.denominators)
-        perm_zc = prove_zerocheck(field, perm_terms, perm_mles, transcript, counter)
+        perm_zc = prove_zerocheck(
+            field, perm_terms, perm_mles, transcript, counter,
+            backend=self.backend,
+        )
         rho_p = perm_zc.challenges
 
         # auxiliary evaluations the verifier needs to reconstruct N_i/D_i
@@ -152,7 +169,10 @@ class HyperPlonkProver:
         polys.update(self.index.sigmas)
         polys.update(witness)
         polys["phi"] = perm.phi
-        opencheck = prove_opencheck(field, claims, polys, self.kzg, transcript, counter)
+        opencheck = prove_opencheck(
+            field, claims, polys, self.kzg, transcript, counter,
+            backend=self.backend,
+        )
 
         tree_openings = {
             "pi": self.kzg.open(perm.prod_tree, list(rho_p) + [1]),

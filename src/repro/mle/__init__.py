@@ -18,13 +18,14 @@ X_1 in the least-significant bit, so the round-1 pairs (X_1 = 0, 1) are
 adjacent entries — the same streaming-friendly layout the accelerator uses.
 """
 
-from repro.mle.table import DenseMLE, extend_pair
+from repro.mle.table import DenseMLE, extend_pair, extend_table
 from repro.mle.eq import build_eq_mle, eq_eval
 from repro.mle.virtual import Term, VirtualPolynomial
 
 __all__ = [
     "DenseMLE",
     "extend_pair",
+    "extend_table",
     "build_eq_mle",
     "eq_eval",
     "Term",

@@ -14,6 +14,7 @@ from typing import Iterable, Sequence
 
 from repro.fields.counters import OpCounter
 from repro.fields.prime_field import PrimeField
+from repro.fields.vector import VectorBackend, get_backend
 
 
 class DenseMLE:
@@ -61,25 +62,22 @@ class DenseMLE:
         return cls(field, table)
 
     # -- hardware primitive 1: MLE Update (fix X_1 := r) -------------------
-    def fix_first_variable(self, r: int, counter: OpCounter | None = None) -> "DenseMLE":
+    def fix_first_variable(
+        self,
+        r: int,
+        counter: OpCounter | None = None,
+        backend: str | VectorBackend | None = None,
+    ) -> "DenseMLE":
         """Return f(r, X_2..X_μ): fold adjacent pairs by the challenge r.
 
         f(r, x) = f(0, x) + r * (f(1, x) - f(0, x)) — one modular multiply
         and two adds per output entry, exactly the Update unit's datapath.
+        The fold is carried out by a :mod:`repro.fields.vector` backend
+        (``None`` → ``reference``, preserving the original semantics).
         """
         if self.num_vars == 0:
             raise ValueError("cannot fix a variable of a 0-variable MLE")
-        p = self.field.modulus
-        t = self.table
-        r %= p
-        out = [0] * (len(t) // 2)
-        for i in range(len(out)):
-            lo = t[2 * i]
-            hi = t[2 * i + 1]
-            out[i] = (lo + r * (hi - lo)) % p
-        if counter is not None:
-            counter.count_mul(len(out), kind="ee")
-            counter.count_add(2 * len(out))
+        out = get_backend(backend).fold(self.field, self.table, r, counter)
         return DenseMLE(self.field, out)
 
     def fix_variables(self, rs: Iterable[int]) -> "DenseMLE":
@@ -171,3 +169,22 @@ def extend_pair(
     if counter is not None:
         counter.count_add(max(degree - 1, 0))
     return out[: degree + 1]
+
+
+def extend_table(
+    field: PrimeField,
+    table: Sequence[int],
+    degree: int,
+    counter: OpCounter | None = None,
+    backend: str | VectorBackend | None = None,
+) -> list[list[int]]:
+    """Batched :func:`extend_pair` over a whole table.
+
+    Returns extension *columns*: ``cols[x][j]`` is the value at ``X = x``
+    of the line through pair ``j`` — i.e. ``extend_pair`` applied to every
+    adjacent pair at once, transposed.  Routed through a
+    :mod:`repro.fields.vector` backend (``None`` → ``reference``).
+    """
+    if len(table) < 2 or len(table) % 2:
+        raise ValueError("extend_table needs an even-length table")
+    return get_backend(backend).extend_columns(field, table, degree, counter)

@@ -130,9 +130,17 @@ class VirtualPolynomial:
             total = (total + prod) % p
         return total
 
-    def fix_first_variable(self, r: int) -> "VirtualPolynomial":
-        """Fold every constituent MLE by the challenge r (MLE Update)."""
-        folded = {name: mle.fix_first_variable(r) for name, mle in self.mles.items()}
+    def fix_first_variable(
+        self, r: int, counter=None, backend=None
+    ) -> "VirtualPolynomial":
+        """Fold every constituent MLE by the challenge r (MLE Update).
+
+        ``backend`` selects the :mod:`repro.fields.vector` fold kernel.
+        """
+        folded = {
+            name: mle.fix_first_variable(r, counter, backend)
+            for name, mle in self.mles.items()
+        }
         return VirtualPolynomial(self.field, self.terms, folded)
 
     def __repr__(self):

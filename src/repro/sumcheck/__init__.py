@@ -8,6 +8,9 @@ protocol over virtual (composite multilinear) polynomials:
 * :class:`~repro.sumcheck.transcript.Transcript` — SHA3-based Fiat–Shamir,
 * :func:`~repro.sumcheck.prover.prove_sumcheck` — the prover, following
   the extension/product/update dataflow of the paper's Figure 1,
+* :class:`~repro.sumcheck.prover.FastSumCheckProver` — the same protocol
+  on a batched :mod:`repro.fields.vector` backend (``backend="fused"``
+  is the fast path; proofs are bit-identical to the reference),
 * :func:`~repro.sumcheck.verifier.verify_sumcheck` — round checks
   s_i(0) + s_i(1) = prior claim plus the final composition check,
 * :mod:`~repro.sumcheck.zerocheck` — the ZeroCheck wrapper that
@@ -17,7 +20,7 @@ protocol over virtual (composite multilinear) polynomials:
 """
 
 from repro.sumcheck.transcript import Transcript
-from repro.sumcheck.prover import SumCheckProof, prove_sumcheck
+from repro.sumcheck.prover import FastSumCheckProver, SumCheckProof, prove_sumcheck
 from repro.sumcheck.verifier import SumCheckError, verify_sumcheck
 from repro.sumcheck.zerocheck import prove_zerocheck, verify_zerocheck
 from repro.sumcheck.univariate import lagrange_eval_at
@@ -25,6 +28,7 @@ from repro.sumcheck.univariate import lagrange_eval_at
 __all__ = [
     "Transcript",
     "SumCheckProof",
+    "FastSumCheckProver",
     "prove_sumcheck",
     "SumCheckError",
     "verify_sumcheck",

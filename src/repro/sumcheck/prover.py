@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 
 from repro.fields.counters import OpCounter
+from repro.fields.vector import VectorBackend, get_backend
 from repro.mle.table import extend_pair
 from repro.mle.virtual import VirtualPolynomial
 from repro.sumcheck.transcript import Transcript
@@ -40,7 +41,14 @@ def _round_evaluations(
     degree: int,
     counter: OpCounter | None,
 ) -> list[int]:
-    """Compute s(0..degree) for the current (partially-folded) tables."""
+    """Compute s(0..degree) for the current (partially-folded) tables.
+
+    Kept as an independent scalar implementation on purpose: it is the
+    oracle the differential suite pins every vector backend against, so
+    protocol changes here must be mirrored in
+    :meth:`repro.fields.vector.VectorBackend.round_evaluations`
+    implementations (and the tests will catch a missed one).
+    """
     p = vp.field.modulus
     half = len(next(iter(vp.mles.values()))) // 2
     names = vp.unique_mle_names
@@ -74,13 +82,21 @@ def prove_sumcheck(
     transcript: Transcript,
     claim: int | None = None,
     counter: OpCounter | None = None,
+    backend: str | VectorBackend | None = None,
 ) -> SumCheckProof:
     """Run the full μ-round SumCheck prover.
 
     If ``claim`` is None the true hypercube sum is computed and used.
     Returns the proof; the transcript is advanced identically to the
     verifier's so Fiat–Shamir challenges agree.
+
+    ``backend`` selects a batched field-vector backend (see
+    :mod:`repro.fields.vector`); ``None`` keeps the original scalar code
+    path.  Every backend produces a bit-identical proof and identical
+    ``counter`` tallies — ``"fused"`` is simply faster.
     """
+    if backend is not None:
+        return FastSumCheckProver(backend).prove(vp, transcript, claim, counter)
     if claim is None:
         claim = vp.sum_over_hypercube()
     degree = vp.degree
@@ -106,3 +122,68 @@ def prove_sumcheck(
     proof.final_evals = {name: mle.table[0] for name, mle in current.mles.items()}
     transcript.absorb_scalars(b"sumcheck/final", proof.final_evals.values())
     return proof
+
+
+class FastSumCheckProver:
+    """SumCheck prover running on a batched field-vector backend.
+
+    The protocol flow (claim absorption, per-round transcript traffic,
+    challenge derivation, final-evaluation ordering) is identical to
+    :func:`prove_sumcheck`; the difference is purely mechanical:
+
+    * round evaluations go through the backend's fused
+      ``round_evaluations`` kernel instead of a per-pair Python loop;
+    * tables are kept as raw ``[0, p)`` integer lists between rounds, so
+      no ``DenseMLE``/``VirtualPolynomial`` objects are rebuilt per fold.
+
+    With ``backend="reference"`` the output and the ``OpCounter`` tallies
+    are bit-identical to the original prover by construction; with
+    ``backend="fused"`` they are bit-identical by the differential test
+    suite (``tests/test_fastpath_differential.py``).
+    """
+
+    def __init__(self, backend: str | VectorBackend = "fused"):
+        self.backend = get_backend(backend)
+
+    def prove(
+        self,
+        vp: VirtualPolynomial,
+        transcript: Transcript,
+        claim: int | None = None,
+        counter: OpCounter | None = None,
+    ) -> SumCheckProof:
+        be = self.backend
+        field = vp.field
+        if claim is None:
+            claim = vp.sum_over_hypercube()
+        degree = vp.degree
+        proof = SumCheckProof(claim=claim, num_vars=vp.num_vars, degree=degree)
+
+        transcript.absorb_scalar(b"sumcheck/claim", claim)
+        transcript.absorb_scalar(b"sumcheck/num-vars", vp.num_vars)
+        transcript.absorb_scalar(b"sumcheck/degree", degree)
+
+        # raw tables, in vp.mles order (final_evals ordering depends on it)
+        tables = {name: mle.table for name, mle in vp.mles.items()}
+        # extend only the MLEs that terms reference (counter parity with
+        # the reference prover); an all-constant composition has none, so
+        # fall back to the full table dict for the pair count
+        active = vp.unique_mle_names
+        for _ in range(vp.num_vars):
+            round_tables = (
+                {n: tables[n] for n in active} if active else tables
+            )
+            evals = be.round_evaluations(
+                field, vp.terms, round_tables, degree, counter
+            )
+            proof.round_evals.append(evals)
+            transcript.absorb_scalars(b"sumcheck/round", evals)
+            r = transcript.challenge(b"sumcheck/challenge")
+            proof.challenges.append(r)
+            tables = {
+                name: be.fold(field, t, r, counter)
+                for name, t in tables.items()
+            }
+        proof.final_evals = {name: t[0] for name, t in tables.items()}
+        transcript.absorb_scalars(b"sumcheck/final", proof.final_evals.values())
+        return proof
