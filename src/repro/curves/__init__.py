@@ -12,9 +12,19 @@ package implements
   naive MSM used as a test oracle.
 """
 
-from repro.curves.curve import AffinePoint, JacobianPoint, ShortWeierstrassCurve
+from repro.curves.curve import (
+    AffinePoint,
+    JacobianPoint,
+    ShortWeierstrassCurve,
+    batch_normalize,
+)
 from repro.curves.bls12_381_g1 import G1, G1_GENERATOR
-from repro.curves.msm import msm_naive, msm_pippenger
+from repro.curves.msm import (
+    FixedBaseTable,
+    msm_fixed_base,
+    msm_naive,
+    msm_pippenger,
+)
 
 __all__ = [
     "AffinePoint",
@@ -22,6 +32,9 @@ __all__ = [
     "ShortWeierstrassCurve",
     "G1",
     "G1_GENERATOR",
+    "FixedBaseTable",
+    "batch_normalize",
+    "msm_fixed_base",
     "msm_naive",
     "msm_pippenger",
 ]

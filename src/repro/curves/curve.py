@@ -227,3 +227,27 @@ class JacobianPoint:
         if self.z == 0:
             return f"JacobianPoint({self.curve.name}, inf)"
         return f"JacobianPoint({self.curve.name}, x={hex(self.x)[:14]}..)"
+
+
+def batch_normalize(points: "list[JacobianPoint]") -> "list[AffinePoint]":
+    """Jacobian → affine for many points with one shared field inversion.
+
+    Montgomery's batch-inversion trick — the same batching strategy
+    zkPHIRE's Permutation Quotient Generator uses for field inverses
+    (§IV-B5), applied to coordinate normalization.  Infinity entries
+    (z = 0) are passed through and excluded from the inversion batch.
+    """
+    if not points:
+        return []
+    from repro.fields.prime_field import batch_inverse
+
+    curve = points[0].curve
+    p = curve.field.modulus
+    finite = [(i, pt) for i, pt in enumerate(points) if pt.z != 0]
+    inverses = batch_inverse(curve.field, [pt.z for _, pt in finite])
+    out: list[AffinePoint] = [curve.infinity] * len(points)
+    for (i, pt), zinv in zip(finite, inverses):
+        zinv2 = zinv * zinv % p
+        out[i] = AffinePoint(curve, pt.x * zinv2 % p,
+                             pt.y * zinv2 * zinv % p)
+    return out

@@ -9,6 +9,20 @@ structure the hardware model (``repro.hw.msm_unit``) costs out: for each
 reduce buckets with a running-sum scan.
 
 :func:`msm_naive` is the O(n · 256) double-and-add oracle used in tests.
+
+**Fixed-base path.**  Pippenger pays ~``order.bit_length()`` running-sum
+doublings per MSM regardless of how few points it has, which dominates
+the many small commitments (opening quotients, 0-variable constants) a
+HyperPlonk prover issues against *fixed, endlessly reused* SRS bases.
+:class:`FixedBaseTable` precomputes every ``window_bits``-wide digit
+multiple of one base so a scalar multiplication becomes one mixed
+addition per nonzero digit — no doublings at all — and
+:func:`msm_fixed_base` sums such tables.  The result is the same group
+element (hence bit-identical affine coordinates) as any other MSM
+algorithm; ``tests/test_msm_fixed_base.py`` locks the equivalence.  The
+serving layer (:mod:`repro.service`) turns this on for its shared KZG;
+one-shot callers keep plain Pippenger since tables only pay for
+themselves with base reuse across requests.
 """
 
 from __future__ import annotations
@@ -16,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
-from repro.curves.curve import AffinePoint, JacobianPoint
+from repro.curves.curve import AffinePoint, JacobianPoint, batch_normalize
 from repro.fields.vector import window_decompose
 
 
@@ -90,4 +104,86 @@ def msm_pippenger(
         for _ in range(c):
             acc = acc.double()
         acc = acc.add(total)
+    return acc.to_affine()
+
+
+class FixedBaseTable:
+    """Precomputed digit multiples of one fixed base point.
+
+    ``rows[t][d - 1]`` holds ``d * 2^(window_bits * t) * P`` in affine
+    form (batch-normalized with one shared inversion), so
+    :meth:`mul` reduces ``k * P`` to one mixed addition per nonzero
+    ``window_bits``-wide digit of ``k``.
+    """
+
+    def __init__(self, point: AffinePoint, window_bits: int = 4,
+                 num_bits: int | None = None):
+        if window_bits < 1:
+            raise ValueError("window_bits must be >= 1")
+        if num_bits is None:
+            num_bits = point.curve.order.bit_length()
+        elif num_bits < 1:
+            raise ValueError("num_bits must be >= 1")
+        curve = point.curve
+        self.curve = curve
+        self.point = point
+        self.window_bits = window_bits
+        self.num_bits = num_bits
+        self.num_windows = (num_bits + window_bits - 1) // window_bits
+        m = (1 << window_bits) - 1
+        flat: list[JacobianPoint] = []
+        base = point.to_jacobian()
+        for _ in range(self.num_windows):
+            cur = base
+            flat.append(cur)
+            for _ in range(m - 1):
+                cur = cur.add(base)
+                flat.append(cur)
+            for _ in range(window_bits):
+                base = base.double()
+        affine = batch_normalize(flat)
+        self.rows = [affine[t * m:(t + 1) * m]
+                     for t in range(self.num_windows)]
+
+    def mul(self, k: int) -> JacobianPoint:
+        """``k * P`` as a Jacobian point (no doublings, adds only)."""
+        k %= self.curve.order
+        if k >> (self.num_windows * self.window_bits):
+            raise ValueError(
+                f"scalar needs {k.bit_length()} bits but this table only "
+                f"covers {self.num_bits}"
+            )
+        acc = self.curve.jacobian_infinity
+        mask = (1 << self.window_bits) - 1
+        t = 0
+        while k:
+            d = k & mask
+            if d:
+                entry = self.rows[t][d - 1]
+                if not entry.inf:
+                    acc = acc.add_affine(entry)
+            k >>= self.window_bits
+            t += 1
+        return acc
+
+    def scalar_mul(self, k: int) -> AffinePoint:
+        """``k * P`` in affine form (drop-in for AffinePoint.scalar_mul)."""
+        return self.mul(k).to_affine()
+
+    def __repr__(self):
+        return (f"FixedBaseTable({self.curve.name}, w={self.window_bits}, "
+                f"{self.num_windows} windows)")
+
+
+def msm_fixed_base(scalars: Sequence[int],
+                   tables: Sequence[FixedBaseTable]) -> AffinePoint:
+    """MSM over precomputed fixed-base tables (one per point)."""
+    if len(scalars) != len(tables):
+        raise ValueError("scalars and tables must have equal length")
+    if not tables:
+        raise ValueError("empty MSM")
+    acc = tables[0].curve.jacobian_infinity
+    for k, table in zip(scalars, tables):
+        if k:
+            acc = acc.add(table.mul(k))
     return acc.to_affine()

@@ -12,7 +12,9 @@ import time
 from repro.experiments import ALL_EXPERIMENTS
 
 
-def main(argv: list[str]) -> int:
+def main(argv: list[str] | None = None) -> int:
+    if argv is None:  # console-script entry point (pyproject repro-experiments)
+        argv = sys.argv[1:]
     fast = "--full" not in argv
     selected = [a for a in argv if not a.startswith("-")]
     names = selected or ALL_EXPERIMENTS

@@ -33,6 +33,12 @@ class Felt:
     def __setattr__(self, name, val):  # pragma: no cover - guard rail
         raise AttributeError("Felt is immutable")
 
+    def __reduce__(self):
+        # default slots-state unpickling trips the immutability guard;
+        # rebuild through the constructor instead (service worker pools
+        # ship circuits, and with them fields, across processes)
+        return (Felt, (self.field, self.value))
+
     def _coerce(self, other) -> int:
         if isinstance(other, Felt):
             if other.field is not self.field:
@@ -190,6 +196,12 @@ class PrimeField:
 
     def __hash__(self):
         return hash(self.modulus)
+
+    def __reduce__(self):
+        # reconstruct via the constructor so the copy carries fresh
+        # _zero/_one elements bound to itself (fields compare by modulus,
+        # so an unpickled copy still == the original)
+        return (PrimeField, (self.modulus, self.name))
 
     def __repr__(self):
         return f"PrimeField({self.name}, {self.bit_length} bits)"

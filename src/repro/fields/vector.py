@@ -456,6 +456,20 @@ def available_backends() -> list[str]:
     return sorted(_BACKENDS)
 
 
+def backend_name(backend: str | VectorBackend | None) -> str:
+    """Normalize a backend selection to its registry name.
+
+    Validates the selection (unknown names raise, like :func:`get_backend`)
+    and returns a plain string, which is what crosses process boundaries
+    in :mod:`repro.service` worker pools — backend instances are never
+    pickled, workers re-resolve the name against their own registry.
+    """
+    if isinstance(backend, str):
+        get_backend(backend)  # validate
+        return backend
+    return get_backend(backend).name
+
+
 register_backend("reference", ReferenceBackend())
 register_backend("fused", FusedBackend())
 

@@ -41,7 +41,12 @@ from repro.hyperplonk.commitment import (
 )
 from repro.hyperplonk.prover import HyperPlonkProof, HyperPlonkProver
 from repro.hyperplonk.verifier import HyperPlonkError, HyperPlonkVerifier
-from repro.hyperplonk.preprocess import preprocess
+from repro.hyperplonk.preprocess import (
+    ProverIndex,
+    VerifierIndex,
+    circuit_fingerprint,
+    preprocess,
+)
 
 __all__ = [
     "Circuit",
@@ -57,5 +62,8 @@ __all__ = [
     "HyperPlonkProver",
     "HyperPlonkError",
     "HyperPlonkVerifier",
+    "ProverIndex",
+    "VerifierIndex",
+    "circuit_fingerprint",
     "preprocess",
 ]

@@ -21,8 +21,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 import random
+import threading
 
 from repro.curves import AffinePoint, G1, G1_GENERATOR, msm_pippenger
+from repro.curves.msm import FixedBaseTable, msm_fixed_base
 from repro.fields import FR_MODULUS, Fr
 from repro.mle import DenseMLE
 from repro.mle.eq import build_eq_mle
@@ -111,17 +113,64 @@ class TrapdoorSRS:
 
 
 class MultilinearKZG:
-    """Commit/open/verify for dense MLEs against a :class:`TrapdoorSRS`."""
+    """Commit/open/verify for dense MLEs against a :class:`TrapdoorSRS`.
 
-    def __init__(self, srs: TrapdoorSRS):
+    ``fixed_base=True`` precomputes :class:`FixedBaseTable` windows for
+    the generator and for SRS bases of arity ≤ ``fixed_base_max_vars``
+    (lazily, per arity), replacing Pippenger for the prover's many small
+    MSMs — opening quotients and 0-variable constants — whose cost is
+    dominated by Pippenger's fixed ~255 running-sum doublings.  Results
+    are bit-identical group elements either way; the mode only pays for
+    itself when one KZG instance serves many requests, which is why
+    :mod:`repro.service` enables it and one-shot callers don't.
+    """
+
+    def __init__(self, srs: TrapdoorSRS, fixed_base: bool = False,
+                 fixed_base_max_vars: int = 4):
         self.srs = srs
+        self.fixed_base = fixed_base
+        self.fixed_base_max_vars = fixed_base_max_vars
+        self._fb_tables: dict[int, list[FixedBaseTable]] = {}
+        self._gen_table: FixedBaseTable | None = None
+        # table precompute is expensive; serialize it so concurrent
+        # thread-pool workers hitting a new arity don't build it twice
+        self._fb_lock = threading.Lock()
+
+    # -- fixed-base tables ---------------------------------------------------
+    def _tables(self, num_vars: int) -> list[FixedBaseTable]:
+        tables = self._fb_tables.get(num_vars)
+        if tables is None:
+            with self._fb_lock:
+                tables = self._fb_tables.get(num_vars)
+                if tables is None:
+                    tables = [FixedBaseTable(pt)
+                              for pt in self.srs.bases(num_vars)]
+                    self._fb_tables[num_vars] = tables
+        return tables
+
+    def _generator_mul(self, k: int) -> AffinePoint:
+        if not self.fixed_base:
+            return G1_GENERATOR.scalar_mul(k)
+        if self._gen_table is None:
+            with self._fb_lock:
+                if self._gen_table is None:
+                    self._gen_table = FixedBaseTable(G1_GENERATOR)
+        return self._gen_table.scalar_mul(k)
 
     # -- commit ------------------------------------------------------------
     def commit(self, mle: DenseMLE) -> Commitment:
-        bases = self.srs.bases(mle.num_vars)
+        if mle.num_vars > self.srs.max_vars:
+            raise ValueError(
+                f"SRS supports up to {self.srs.max_vars} vars, "
+                f"asked for {mle.num_vars}"
+            )
         if all(v == 0 for v in mle.table):
             return Commitment(G1.infinity, mle.num_vars)
-        return Commitment(msm_pippenger(mle.table, bases), mle.num_vars)
+        if self.fixed_base and mle.num_vars <= self.fixed_base_max_vars:
+            point = msm_fixed_base(mle.table, self._tables(mle.num_vars))
+        else:
+            point = msm_pippenger(mle.table, self.srs.bases(mle.num_vars))
+        return Commitment(point, mle.num_vars)
 
     # -- open -----------------------------------------------------------------
     def open(self, mle: DenseMLE, point: Sequence[int]) -> Opening:
@@ -147,7 +196,7 @@ class MultilinearKZG:
                 q_commit = (
                     G1.infinity
                     if q_table[0] == 0
-                    else G1_GENERATOR.scalar_mul(q_table[0])
+                    else self._generator_mul(q_table[0])
                 )
             else:
                 q_mle = DenseMLE(Fr, q_table)
@@ -165,7 +214,7 @@ class MultilinearKZG:
             return False
         p = Fr.modulus
         lhs = commitment.point.to_jacobian().add(
-            G1_GENERATOR.scalar_mul(opening.value).neg().to_jacobian()
+            self._generator_mul(opening.value).neg().to_jacobian()
         )
         rhs = G1.jacobian_infinity
         # An arity-ν commitment is bound to the suffix secrets; its i-th

@@ -8,6 +8,7 @@ the closed-form identity polynomials), not the tables.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -46,6 +47,28 @@ class VerifierIndex:
         for j, x in enumerate(point):
             acc = (acc + (1 << j) * (x % p)) % p
         return acc
+
+
+def circuit_fingerprint(circuit: Circuit) -> str:
+    """Content hash of everything preprocessing depends on.
+
+    Covers the gate type, field, and every row's selectors and wiring —
+    but **not** the witness values, so two instances of the same circuit
+    structure proving different witnesses share one fingerprint (and hence
+    one cached :class:`ProverIndex`/:class:`VerifierIndex` in
+    :class:`repro.service.IndexCache`).
+    """
+    h = hashlib.sha256()
+    h.update(b"repro/circuit-index/v1\x00")
+    h.update(circuit.gate_type.name.encode())
+    h.update(circuit.field.modulus.to_bytes(48, "big"))
+    h.update(circuit.num_gates.to_bytes(8, "big"))
+    for row in circuit.rows:
+        for name in circuit.gate_type.selector_names:
+            h.update(row.selectors.get(name, 0).to_bytes(48, "big"))
+        for wire in row.wires:
+            h.update(wire.index.to_bytes(8, "big"))
+    return h.hexdigest()
 
 
 def preprocess(circuit: Circuit, kzg: MultilinearKZG) -> tuple[ProverIndex, VerifierIndex]:

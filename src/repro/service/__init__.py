@@ -1,0 +1,60 @@
+"""A batched, cached, multi-worker proving service (serving layer).
+
+zkPHIRE is an accelerator for *serving* proofs at scale; this package is
+the software serving substrate above the functional HyperPlonk stack
+(DESIGN.md §5).  The pipeline is **job → cache → batch → worker**:
+
+* :mod:`repro.service.jobs` — :class:`ProofJob` / :class:`ProofResult`
+  with priorities and deferrable/real-time request classes;
+* :mod:`repro.service.cache` — :class:`IndexCache`, a content-addressed
+  LRU of preprocessed circuit indexes (circuit hash → prover/verifier
+  index) with hit/miss/eviction stats;
+* :mod:`repro.service.batching` — same-circuit batch planning;
+* :mod:`repro.service.workers` — sync / thread / process executors;
+* :mod:`repro.service.metrics` — :class:`ServiceMetrics` (throughput,
+  p50/p95 latency, cache hit rate, per-worker utilization, op tallies);
+* :mod:`repro.service.traffic` — :class:`TrafficGenerator` driving the
+  named scenarios in :mod:`repro.workloads`;
+* :mod:`repro.service.core` — :class:`ProvingService` tying it together.
+
+Demo CLI: ``python -m repro.service --scenario zipf-mixed --jobs 12``
+(also installed as ``repro-serve``); see ``examples/proving_service.py``
+and ``benchmarks/test_service_throughput.py`` (``BENCH_service.json``).
+"""
+
+from repro.service.batching import Batch, plan_batches
+from repro.service.cache import CacheStats, IndexCache
+from repro.service.core import ProvingService, ServiceConfig
+from repro.service.jobs import ProofJob, ProofResult, RequestClass
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.traffic import TrafficGenerator, synthesize_circuit
+from repro.service.workers import (
+    EXECUTOR_KINDS,
+    ProcessExecutor,
+    SyncExecutor,
+    ThreadExecutor,
+    WorkerPool,
+    make_executor,
+)
+
+__all__ = [
+    "Batch",
+    "CacheStats",
+    "EXECUTOR_KINDS",
+    "IndexCache",
+    "ProcessExecutor",
+    "ProofJob",
+    "ProofResult",
+    "ProvingService",
+    "RequestClass",
+    "ServiceConfig",
+    "ServiceMetrics",
+    "SyncExecutor",
+    "ThreadExecutor",
+    "TrafficGenerator",
+    "WorkerPool",
+    "make_executor",
+    "percentile",
+    "plan_batches",
+    "synthesize_circuit",
+]

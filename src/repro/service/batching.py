@@ -1,0 +1,55 @@
+"""Batch planning: group pending jobs by circuit structure.
+
+A batch is the unit of index reuse — every job in a batch shares one
+circuit fingerprint, so the service performs exactly one
+:class:`~repro.service.cache.IndexCache` lookup (and at most one
+preprocessing run) per batch regardless of batch size.
+
+Ordering: jobs are first sorted by :meth:`ProofJob.sort_key` (real-time
+class before deferrable, then priority, then arrival), and batches are
+emitted in the order of their best-ranked member.  Grouping deliberately
+lets a deferrable job ride along in a batch anchored by a real-time job
+with the same circuit — batching it early is strictly cheaper than
+draining it later with a second index resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.jobs import ProofJob
+
+
+@dataclass
+class Batch:
+    """Jobs sharing one circuit fingerprint (hence one prover index)."""
+
+    circuit_key: str
+    jobs: list[ProofJob]
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+
+def plan_batches(
+    jobs: list[ProofJob], max_batch_size: int | None = None
+) -> list[Batch]:
+    """Deterministically partition ``jobs`` into same-circuit batches.
+
+    ``max_batch_size`` splits oversized groups (None = unbounded); splits
+    preserve the sorted drain order.
+    """
+    if max_batch_size is not None and max_batch_size < 1:
+        raise ValueError("max_batch_size must be >= 1 (or None)")
+    ordered = sorted(jobs, key=ProofJob.sort_key)
+    groups: dict[str, list[ProofJob]] = {}
+    for job in ordered:  # dict preserves first-appearance (i.e. rank) order
+        groups.setdefault(job.circuit_key, []).append(job)
+    batches = []
+    for key, members in groups.items():
+        if max_batch_size is None:
+            batches.append(Batch(key, members))
+        else:
+            for i in range(0, len(members), max_batch_size):
+                batches.append(Batch(key, members[i:i + max_batch_size]))
+    return batches

@@ -1,0 +1,125 @@
+"""Service-side measurement: throughput, latency tails, utilization.
+
+:class:`ServiceMetrics` accumulates :class:`~repro.service.jobs.ProofResult`
+records and renders one summary dict per run: proofs/sec, p50/p95 latency,
+cache hit rate (both per-lookup, from the cache's own stats, and per-job,
+from result records — the two differ because a batch of *n* jobs performs
+one lookup), per-worker utilization, and aggregate
+:class:`~repro.fields.counters.OpCounter` tallies when collection is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.fields.counters import OpCounter
+from repro.service.cache import CacheStats
+from repro.service.jobs import ProofResult, RequestClass
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy-free), q in [0, 100]."""
+    if not values:
+        return 0.0
+    xs = sorted(values)
+    if len(xs) == 1:
+        return xs[0]
+    pos = (len(xs) - 1) * q / 100.0
+    lo = int(pos)
+    hi = min(lo + 1, len(xs) - 1)
+    frac = pos - lo
+    return xs[lo] + (xs[hi] - xs[lo]) * frac
+
+
+@dataclass
+class WorkerStats:
+    worker_id: str
+    jobs: int = 0
+    busy_s: float = 0.0
+
+
+@dataclass
+class ServiceMetrics:
+    results: list[ProofResult] = dc_field(default_factory=list)
+    batches: int = 0
+    drains: int = 0
+    ops: OpCounter = dc_field(default_factory=OpCounter)
+    _workers: dict[str, WorkerStats] = dc_field(default_factory=dict)
+
+    def record_result(self, result: ProofResult) -> None:
+        self.results.append(result)
+        w = self._workers.setdefault(result.worker_id,
+                                     WorkerStats(result.worker_id))
+        w.jobs += 1
+        w.busy_s += result.prove_s
+        if result.counter is not None:
+            self.ops = self.ops.merged(result.counter)
+
+    def record_drain(self, num_batches: int) -> None:
+        self.drains += 1
+        self.batches += num_batches
+
+    # -- derived -----------------------------------------------------------
+    @property
+    def jobs_done(self) -> int:
+        return len(self.results)
+
+    def latencies(self) -> list[float]:
+        return [r.latency_s for r in self.results]
+
+    def job_cache_hit_rate(self) -> float:
+        """Fraction of jobs whose batch's index lookup hit the cache."""
+        if not self.results:
+            return 0.0
+        return sum(r.cache_hit for r in self.results) / len(self.results)
+
+    def summary(self, wall_s: float,
+                cache_stats: CacheStats | None = None) -> dict:
+        lat = self.latencies()
+        queue = [r.queue_s for r in self.results]
+        prove = [r.prove_s for r in self.results]
+        by_class = {
+            cls.value: sum(1 for r in self.results if r.request_class is cls)
+            for cls in RequestClass
+        }
+        doc = {
+            "jobs": self.jobs_done,
+            "batches": self.batches,
+            "drains": self.drains,
+            "by_class": by_class,
+            "wall_s": round(wall_s, 6),
+            "throughput_proofs_per_s": (
+                round(self.jobs_done / wall_s, 3) if wall_s > 0 else 0.0
+            ),
+            "latency_s": {
+                "p50": round(percentile(lat, 50), 6),
+                "p95": round(percentile(lat, 95), 6),
+                "max": round(max(lat), 6) if lat else 0.0,
+            },
+            "queue_s_p50": round(percentile(queue, 50), 6),
+            "prove_s_p50": round(percentile(prove, 50), 6),
+            "job_cache_hit_rate": round(self.job_cache_hit_rate(), 4),
+            "workers": [
+                {
+                    "worker_id": w.worker_id,
+                    "jobs": w.jobs,
+                    "busy_s": round(w.busy_s, 6),
+                    "utilization": (
+                        round(w.busy_s / wall_s, 4) if wall_s > 0 else 0.0
+                    ),
+                }
+                for w in sorted(self._workers.values(),
+                                key=lambda w: w.worker_id)
+            ],
+        }
+        if cache_stats is not None:
+            doc["cache"] = cache_stats.as_dict()
+        if self.ops.mul or self.ops.add or self.ops.inv:
+            doc["ops"] = {
+                "mul": self.ops.mul,
+                "add": self.ops.add,
+                "inv": self.ops.inv,
+                "ee_mul": self.ops.ee_mul,
+                "pl_mul": self.ops.pl_mul,
+            }
+        return doc

@@ -1,0 +1,142 @@
+"""Arrival-pattern-driven traffic generation for the proving service.
+
+A :class:`TrafficGenerator` turns a named
+:class:`~repro.workloads.catalog.TrafficScenario` into a deterministic
+stream of :class:`~repro.service.jobs.ProofJob`\\ s: circuit sizes and
+gate families are drawn from the scenario's distributions, arrival
+offsets from its pattern (uniform / poisson / burst), and request
+classes from its real-time fraction.
+
+Circuit *structure* is a pure function of (gate family, log2 size) —
+only witness values vary between requests — so repeated draws of the
+same shape hit the service's index cache, exactly like production
+traffic re-proving one circuit over many inputs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.fields import Fr
+from repro.fields.prime_field import PrimeField
+from repro.hyperplonk.circuit import (
+    Circuit,
+    CircuitBuilder,
+    GateType,
+    JELLYFISH,
+    VANILLA,
+)
+from repro.service.jobs import ProofJob, RequestClass
+from repro.workloads import TrafficScenario, scenario_by_name
+
+GATE_TYPES: dict[str, GateType] = {"vanilla": VANILLA, "jellyfish": JELLYFISH}
+
+ARRIVAL_PATTERNS = ("uniform", "poisson", "burst")
+
+#: jobs per cluster in the ``burst`` arrival pattern
+BURST_SIZE = 4
+
+
+def synthesize_circuit(gate_type: GateType, log2_gates: int, *,
+                       witness_seed: int = 0,
+                       field: PrimeField = Fr) -> Circuit:
+    """Build a satisfiable 2^``log2_gates``-gate circuit.
+
+    The gate/wiring pattern depends only on ``(gate_type, log2_gates)``;
+    ``witness_seed`` varies just the input values.  All helper gates hold
+    by construction (the builder computes outputs), so the circuit always
+    proves.
+    """
+    if log2_gates < 1:
+        raise ValueError("log2_gates must be >= 1")
+    rng = random.Random(witness_seed)
+    b = CircuitBuilder(gate_type, field)
+    p = field.modulus
+    x = b.new_wire(rng.randrange(1, p))
+    y = b.new_wire(rng.randrange(1, p))
+    acc = b.add(x, y)
+    target = 1 << log2_gates
+    i = 0
+    # fixed per-index pattern => fixed structure; one row per iteration
+    while len(b.rows) < target:
+        if gate_type.name == "jellyfish" and i % 3 == 2:
+            acc = b.pow5(acc)
+        elif i % 2:
+            acc = b.mul(acc, x)
+        else:
+            acc = b.add(acc, y)
+        i += 1
+    return b.build(min_gates=target)
+
+
+class TrafficGenerator:
+    """Deterministic (seeded) job-stream generator for one scenario."""
+
+    def __init__(self, scenario: TrafficScenario | str, *, seed: int = 0,
+                 field: PrimeField = Fr):
+        if isinstance(scenario, str):
+            scenario = scenario_by_name(scenario)
+        if scenario.arrival not in ARRIVAL_PATTERNS:
+            raise ValueError(
+                f"unknown arrival pattern {scenario.arrival!r}; "
+                f"choose from {ARRIVAL_PATTERNS}"
+            )
+        for gate_name, _ in scenario.gate_mix:
+            if gate_name not in GATE_TYPES:
+                raise ValueError(f"unknown gate family {gate_name!r}")
+        self.scenario = scenario
+        self.seed = seed
+        self.field = field
+        self._rng = random.Random(seed)
+        self._next_arrival = 0.0
+        self._burst_slot = 0
+
+    # -- internals ---------------------------------------------------------
+    def _draw_arrival(self) -> float:
+        s = self.scenario
+        t = self._next_arrival
+        if s.arrival == "uniform":
+            self._next_arrival = t + 1.0 / s.rate_rps
+        elif s.arrival == "poisson":
+            self._next_arrival = t + self._rng.expovariate(s.rate_rps)
+        else:  # burst: clusters of BURST_SIZE, then a long gap
+            self._burst_slot += 1
+            if self._burst_slot % BURST_SIZE == 0:
+                self._next_arrival = t + BURST_SIZE / s.rate_rps
+        return t
+
+    def _weighted(self, pairs: Iterable[tuple]) -> object:
+        population, weights = zip(*pairs)
+        return self._rng.choices(population, weights=weights, k=1)[0]
+
+    # -- API ---------------------------------------------------------------
+    def jobs(self, n: int, *, start_id: int = 0,
+             backend: str | None = None) -> list[ProofJob]:
+        """The next ``n`` requests (arrival offsets continue across calls)."""
+        s = self.scenario
+        out = []
+        for i in range(n):
+            arrival = self._draw_arrival()
+            gate_name = self._weighted(s.gate_mix)
+            log2 = self._weighted(s.size_weights)
+            realtime = self._rng.random() < s.realtime_fraction
+            circuit = synthesize_circuit(
+                GATE_TYPES[gate_name], log2,
+                witness_seed=self._rng.randrange(1 << 30),
+                field=self.field,
+            )
+            out.append(ProofJob(
+                job_id=start_id + i,
+                circuit=circuit,
+                backend=backend,
+                request_class=(RequestClass.REALTIME if realtime
+                               else RequestClass.DEFERRABLE),
+                arrival_s=arrival,
+                tag=f"{s.name}/{gate_name}-mu{log2}",
+            ))
+        return out
+
+    def max_vars(self) -> int:
+        """The largest μ this scenario can draw (for sizing the SRS)."""
+        return self.scenario.max_log2_gates

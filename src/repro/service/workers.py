@@ -1,0 +1,228 @@
+"""Worker pools that drain proving batches.
+
+Three executors share one interface (:class:`WorkerPool.run_tasks`):
+
+* :class:`SyncExecutor` — inline, single worker; the default and the
+  determinism baseline.
+* :class:`ThreadExecutor` — a thread pool.  Pure-Python proving is
+  GIL-bound, so threads overlap little compute, but the executor
+  exercises the same task-plumbing a native backend would saturate, and
+  the shared :class:`~repro.service.cache.IndexCache` stays coherent.
+* :class:`ProcessExecutor` — a process pool.  Each worker rebuilds an
+  *identical* KZG/SRS from the service's seed in its initializer (the
+  trapdoor SRS is deterministic in the seed) and keeps a worker-local
+  index cache, so no multi-megabyte SRS or index ever crosses the pipe
+  and proofs stay bit-identical to the in-process path.
+
+Tasks carry the field-vector *backend name*, never a backend instance
+(:func:`repro.fields.vector.backend_name`), so they pickle cleanly.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field as dc_field
+
+from repro.fields import Fq, Fr
+from repro.fields.counters import OpCounter
+from repro.hyperplonk.circuit import Circuit
+from repro.hyperplonk.commitment import MultilinearKZG, TrapdoorSRS
+from repro.hyperplonk.preprocess import ProverIndex
+from repro.hyperplonk.prover import HyperPlonkProof, HyperPlonkProver
+from repro.service.cache import IndexCache
+
+
+@dataclass
+class ProveTask:
+    """One unit of worker work: prove ``circuit`` with ``index``.
+
+    For in-process pools the coordinator resolves ``index`` through the
+    shared cache; for the process pool ``index`` stays ``None`` and the
+    worker resolves it against its local cache.
+    """
+
+    job_id: int
+    circuit: Circuit
+    backend: str | None
+    circuit_key: str
+    collect_counter: bool = False
+    index: ProverIndex | None = dc_field(default=None, repr=False)
+    cache_hit: bool = False
+    batch_size: int = 1
+
+
+@dataclass
+class TaskOutcome:
+    """What a worker reports back for one task."""
+
+    job_id: int
+    proof: HyperPlonkProof
+    worker_id: str
+    cache_hit: bool
+    started_s: float
+    finished_s: float
+    prove_s: float
+    counter: OpCounter | None = dc_field(default=None, repr=False)
+
+
+def _prove(task: ProveTask, index: ProverIndex, kzg: MultilinearKZG,
+           worker_id: str, cache_hit: bool) -> TaskOutcome:
+    # wall stamps use time.time(): they are compared against the
+    # coordinator's submit stamps, and perf_counter's epoch is undefined
+    # across processes; the prove duration is a same-process delta, so it
+    # keeps the high-resolution clock
+    started = time.time()
+    t0 = time.perf_counter()
+    counter = OpCounter() if task.collect_counter else None
+    proof = HyperPlonkProver(
+        task.circuit, index, kzg, backend=task.backend
+    ).prove(counter)
+    prove_s = time.perf_counter() - t0
+    return TaskOutcome(
+        job_id=task.job_id,
+        proof=proof,
+        worker_id=worker_id,
+        cache_hit=cache_hit,
+        started_s=started,
+        finished_s=time.time(),
+        prove_s=prove_s,
+        counter=counter,
+    )
+
+
+def inline_prove(task: ProveTask, kzg: MultilinearKZG,
+                 worker_id: str | None = None) -> TaskOutcome:
+    """Prove a coordinator-resolved task in the current thread."""
+    if task.index is None:
+        raise ValueError("inline_prove needs a coordinator-resolved index")
+    wid = worker_id or threading.current_thread().name
+    return _prove(task, task.index, kzg, wid, task.cache_hit)
+
+
+# -- process-worker side ----------------------------------------------------
+
+_WORKER_KZG: MultilinearKZG | None = None
+_WORKER_CACHE: IndexCache | None = None
+
+
+def _init_process_worker(srs_seed: int, srs_max_vars: int,
+                         fixed_base: bool = True) -> None:
+    """Rebuild the coordinator's KZG deterministically in this worker."""
+    global _WORKER_KZG, _WORKER_CACHE
+    srs = TrapdoorSRS(srs_max_vars, random.Random(srs_seed))
+    _WORKER_KZG = MultilinearKZG(srs, fixed_base=fixed_base)
+    _WORKER_CACHE = IndexCache(_WORKER_KZG)
+
+
+def _canonicalize_field(circuit: Circuit) -> None:
+    """Swap an unpickled field copy for this process's module singleton
+    (Felt arithmetic compares fields by identity)."""
+    for known in (Fr, Fq):
+        if circuit.field == known:
+            circuit.field = known
+            return
+
+
+def process_prove(task: ProveTask) -> TaskOutcome:
+    """Prove a task in a pool process, resolving the index locally."""
+    if _WORKER_KZG is None or _WORKER_CACHE is None:
+        raise RuntimeError("process worker used before initialization")
+    _canonicalize_field(task.circuit)
+    pidx, _, hit = _WORKER_CACHE.get(task.circuit, task.circuit_key)
+    return _prove(task, pidx, _WORKER_KZG, f"pid-{os.getpid()}", hit)
+
+
+# -- pools ------------------------------------------------------------------
+
+class WorkerPool:
+    """Common executor surface: run tasks, preserve task order."""
+
+    kind = "abstract"
+
+    def __init__(self, num_workers: int):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.num_workers = num_workers
+
+    def run_tasks(self, tasks: list[ProveTask],
+                  kzg: MultilinearKZG) -> list[TaskOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    def __repr__(self):
+        return f"{type(self).__name__}(workers={self.num_workers})"
+
+
+class SyncExecutor(WorkerPool):
+    kind = "sync"
+
+    def __init__(self, num_workers: int = 1):
+        super().__init__(1)
+
+    def run_tasks(self, tasks, kzg):
+        return [inline_prove(t, kzg, worker_id="sync-0") for t in tasks]
+
+
+class ThreadExecutor(WorkerPool):
+    kind = "thread"
+
+    def __init__(self, num_workers: int):
+        super().__init__(num_workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=num_workers, thread_name_prefix="prover"
+        )
+
+    def run_tasks(self, tasks, kzg):
+        return list(self._pool.map(lambda t: inline_prove(t, kzg), tasks))
+
+    def close(self):
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor(WorkerPool):
+    kind = "process"
+
+    def __init__(self, num_workers: int, srs_seed: int, srs_max_vars: int,
+                 fixed_base: bool = True):
+        super().__init__(num_workers)
+        self._pool = ProcessPoolExecutor(
+            max_workers=num_workers,
+            initializer=_init_process_worker,
+            initargs=(srs_seed, srs_max_vars, fixed_base),
+        )
+
+    def run_tasks(self, tasks, kzg):
+        # strip coordinator-resolved indexes: workers resolve locally, and
+        # an index is by far the heaviest thing we could ship
+        for t in tasks:
+            t.index = None
+        return list(self._pool.map(process_prove, tasks))
+
+    def close(self):
+        self._pool.shutdown(wait=True)
+
+
+EXECUTOR_KINDS = ("sync", "thread", "process")
+
+
+def make_executor(kind: str, num_workers: int, *, srs_seed: int | None = None,
+                  srs_max_vars: int | None = None,
+                  fixed_base: bool = True) -> WorkerPool:
+    if kind == "sync":
+        return SyncExecutor()
+    if kind == "thread":
+        return ThreadExecutor(num_workers)
+    if kind == "process":
+        if srs_seed is None or srs_max_vars is None:
+            raise ValueError(
+                "process executor needs a service-owned SRS "
+                "(srs_seed + srs_max_vars) so workers can rebuild it"
+            )
+        return ProcessExecutor(num_workers, srs_seed, srs_max_vars, fixed_base)
+    raise ValueError(f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}")

@@ -1,9 +1,20 @@
-"""Workload catalog: the benchmark circuits of the paper's evaluation."""
+"""Workload catalog: the paper's benchmark circuits plus named
+traffic-mix scenarios for the proving service (:mod:`repro.service`)."""
 
 from repro.workloads.catalog import (
+    SCENARIOS,
+    TrafficScenario,
     WORKLOADS,
     Workload,
+    scenario_by_name,
     workload_by_name,
 )
 
-__all__ = ["WORKLOADS", "Workload", "workload_by_name"]
+__all__ = [
+    "SCENARIOS",
+    "TrafficScenario",
+    "WORKLOADS",
+    "Workload",
+    "scenario_by_name",
+    "workload_by_name",
+]

@@ -63,3 +63,82 @@ def workload_by_name(name: str) -> Workload:
         if w.name.lower() == name.lower():
             return w
     raise KeyError(f"unknown workload {name!r}")
+
+
+# ---------------------------------------------------------------------------
+# traffic-mix scenarios (proving-service workloads)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TrafficScenario:
+    """A named proof-serving traffic mix, consumed by
+    :class:`repro.service.TrafficGenerator`.
+
+    Sizes are log2 gate counts at the functional stack's scale (μ ≈ 3–6);
+    they stand in for the full-scale catalog entries above the same way
+    the protocol tests stand in for 2^24-gate runs (DESIGN.md §1).
+    """
+
+    name: str
+    description: str
+    #: (gate type name, weight) — which gate families requests use
+    gate_mix: tuple[tuple[str, float], ...]
+    #: (log2 gate count, weight) — the circuit-size distribution
+    size_weights: tuple[tuple[int, float], ...]
+    #: request inter-arrival pattern: ``uniform`` | ``poisson`` | ``burst``
+    arrival: str
+    #: mean arrival rate, requests per second of model time
+    rate_rps: float
+    #: fraction of requests in the REALTIME class (rest are DEFERRABLE)
+    realtime_fraction: float
+
+    @property
+    def max_log2_gates(self) -> int:
+        return max(size for size, _ in self.size_weights)
+
+
+SCENARIOS: dict[str, TrafficScenario] = {
+    s.name: s
+    for s in (
+        TrafficScenario(
+            name="uniform-small",
+            description="steady stream of small Vanilla circuits "
+                        "(one dominant circuit shape; cache-friendly)",
+            gate_mix=(("vanilla", 1.0),),
+            size_weights=((3, 1.0), (4, 1.0)),
+            arrival="uniform",
+            rate_rps=8.0,
+            realtime_fraction=1.0,
+        ),
+        TrafficScenario(
+            name="zipf-mixed",
+            description="Zipf-distributed circuit sizes over a "
+                        "Vanilla/Jellyfish mix with Poisson arrivals",
+            gate_mix=(("vanilla", 0.75), ("jellyfish", 0.25)),
+            size_weights=((3, 1.0), (4, 0.5), (5, 0.25), (6, 0.125)),
+            arrival="poisson",
+            rate_rps=4.0,
+            realtime_fraction=0.5,
+        ),
+        TrafficScenario(
+            name="jellyfish-heavy",
+            description="bursts of larger high-degree Jellyfish circuits, "
+                        "mostly deferrable (rollup-style batch proving)",
+            gate_mix=(("jellyfish", 1.0),),
+            size_weights=((4, 0.5), (5, 0.3), (6, 0.2)),
+            arrival="burst",
+            rate_rps=2.0,
+            realtime_fraction=0.25,
+        ),
+    )
+}
+
+
+def scenario_by_name(name: str) -> TrafficScenario:
+    try:
+        return SCENARIOS[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown traffic scenario {name!r}; "
+            f"available: {sorted(SCENARIOS)}"
+        ) from None

@@ -1,0 +1,131 @@
+"""IndexCache semantics: content addressing, LRU eviction, bit-equality.
+
+The ISSUE 2 contract: proofs produced from a cached index must be
+bit-identical to proofs from a freshly preprocessed one.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import Fr
+from repro.hyperplonk import (
+    HyperPlonkProver,
+    HyperPlonkVerifier,
+    MultilinearKZG,
+    TrapdoorSRS,
+    circuit_fingerprint,
+    preprocess,
+)
+from repro.hyperplonk.circuit import CircuitBuilder, VANILLA
+from repro.service import IndexCache
+from repro.service.traffic import GATE_TYPES, synthesize_circuit
+
+
+@pytest.fixture()
+def kzg():
+    return MultilinearKZG(TrapdoorSRS(5, random.Random(0xCACE)))
+
+
+def circuit(mu=3, witness_seed=0):
+    return synthesize_circuit(GATE_TYPES["vanilla"], mu,
+                              witness_seed=witness_seed)
+
+
+class TestFingerprint:
+    def test_witness_independent(self):
+        """Same structure, different witness -> same key."""
+        a = circuit(witness_seed=1)
+        b = circuit(witness_seed=2)
+        assert a.witness_tables() != b.witness_tables()
+        assert circuit_fingerprint(a) == circuit_fingerprint(b)
+
+    def test_structure_sensitive(self):
+        assert (circuit_fingerprint(circuit(mu=3))
+                != circuit_fingerprint(circuit(mu=4)))
+
+    def test_selector_sensitive(self):
+        b1 = CircuitBuilder(VANILLA, Fr)
+        x = b1.new_wire(2)
+        b1.add(x, x)
+        b2 = CircuitBuilder(VANILLA, Fr)
+        y = b2.new_wire(2)
+        b2.mul(y, y)
+        assert (circuit_fingerprint(b1.build())
+                != circuit_fingerprint(b2.build()))
+
+    def test_wiring_sensitive(self):
+        b1 = CircuitBuilder(VANILLA, Fr)
+        x = b1.new_wire(2)
+        b1.add(x, x)  # both inputs share one wire
+        b2 = CircuitBuilder(VANILLA, Fr)
+        y = b2.new_wire(2)
+        z = b2.new_wire(2)
+        b2.add(y, z)  # same values, distinct wires
+        assert (circuit_fingerprint(b1.build())
+                != circuit_fingerprint(b2.build()))
+
+
+class TestCacheSemantics:
+    def test_hit_miss_counts(self, kzg):
+        cache = IndexCache(kzg)
+        c1, c2 = circuit(witness_seed=1), circuit(witness_seed=2)
+        _, _, hit = cache.get(c1)
+        assert not hit and cache.stats.misses == 1
+        _, _, hit = cache.get(c2)  # same structure -> hit
+        assert hit and cache.stats.hits == 1
+        _, _, hit = cache.get(circuit(mu=4))
+        assert not hit and cache.stats.misses == 2
+        assert len(cache) == 2
+        assert cache.stats.hit_rate == pytest.approx(1 / 3)
+
+    def test_cached_index_is_same_object(self, kzg):
+        cache = IndexCache(kzg)
+        c = circuit()
+        pidx1, vidx1, _ = cache.get(c)
+        pidx2, vidx2, _ = cache.get(c)
+        assert pidx1 is pidx2 and vidx1 is vidx2
+
+    def test_lru_eviction(self, kzg):
+        cache = IndexCache(kzg, capacity=2)
+        c3, c4, c5 = circuit(mu=3), circuit(mu=4), circuit(mu=2)
+        k3, k4 = cache.warm(c3), cache.warm(c4)
+        cache.get(c3)  # refresh c3 -> c4 is now least recent
+        cache.get(c5)  # evicts c4
+        assert cache.stats.evictions == 1
+        assert k3 in cache and k4 not in cache
+
+    def test_capacity_validation(self, kzg):
+        with pytest.raises(ValueError):
+            IndexCache(kzg, capacity=0)
+
+    def test_clear(self, kzg):
+        cache = IndexCache(kzg)
+        cache.warm(circuit())
+        cache.clear()
+        assert len(cache) == 0
+        _, _, hit = cache.get(circuit())
+        assert not hit
+
+    def test_preprocess_time_recorded(self, kzg):
+        cache = IndexCache(kzg)
+        cache.warm(circuit())
+        assert cache.stats.preprocess_s > 0
+
+
+class TestCachedProofBitEquality:
+    def test_cached_vs_fresh_index(self, kzg):
+        """ISSUE 2 acceptance: cached-index proofs == fresh-index proofs."""
+        cache = IndexCache(kzg)
+        template = circuit(witness_seed=1)
+        cache.warm(template)
+        request = circuit(witness_seed=9)  # different witness, same shape
+        pidx_cached, vidx_cached, hit = cache.get(request)
+        assert hit
+        pidx_fresh, vidx_fresh = preprocess(request, kzg)
+        assert pidx_fresh.commitments == pidx_cached.commitments
+        proof_cached = HyperPlonkProver(request, pidx_cached, kzg).prove()
+        proof_fresh = HyperPlonkProver(request, pidx_fresh, kzg).prove()
+        assert proof_cached == proof_fresh
+        HyperPlonkVerifier(Fr, vidx_cached, kzg).verify(proof_cached)
+        HyperPlonkVerifier(Fr, vidx_fresh, kzg).verify(proof_cached)
