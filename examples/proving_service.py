@@ -32,12 +32,15 @@ def main() -> None:
           f"{generator.scenario.description}")
 
     # 2. The service: content-addressed index cache, same-circuit
-    #    batching, a worker pool, and in-service verification.
+    #    batching, a worker pool, in-service verification, and a
+    #    cost-aware drain order (shortest predicted job first, priced by
+    #    the shared repro.plan layer).
     config = ServiceConfig(
         max_vars=generator.max_vars(),
         executor="thread",
         num_workers=2,
         verify_proofs=True,
+        drain_policy="sjf",
     )
     with ProvingService(config) as service:
         results = service.run(jobs, wave_s=0.5)
@@ -53,6 +56,12 @@ def main() -> None:
     print(f"throughput: {summary['throughput_proofs_per_s']:.2f} proofs/s; "
           f"index cache {cache['hits']} hits / {cache['misses']} misses; "
           f"p95 latency {summary['latency_s']['p95'] * 1e3:.0f} ms")
+    pred = summary["prediction"]
+    print(f"plan cost model: {pred['predicted_total_s']:.2f} s predicted vs "
+          f"{pred['actual_total_s']:.2f} s proved "
+          f"(est. capacity "
+          f"{summary['estimated_capacity_proofs_per_s']['predicted']:.1f} "
+          f"proofs/s)")
 
     # 3. Differential check: the served proof equals the one-shot path.
     job = results[0]

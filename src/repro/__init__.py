@@ -8,13 +8,20 @@ three coupled layers:
   ``repro.mle``, ``repro.gates``, ``repro.sumcheck``,
   ``repro.hyperplonk``) — a correct, pure-Python HyperPlonk prover and
   verifier with custom high-degree gates, runnable at small scales;
+* a **proof-cost plan layer** (``repro.plan``) — one declarative
+  :class:`~repro.plan.ProofPlan` phase DAG per circuit shape, priced by
+  the hardware models, the CPU baseline, and the service's cost-aware
+  scheduler instead of each re-deriving the protocol structure
+  (DESIGN.md §6);
 * a **proving service** (``repro.service``) — a batched, cached,
   multi-worker serving layer over the functional stack:
   :class:`~repro.service.ProvingService` drains
   :class:`~repro.service.ProofJob` streams through a content-addressed
-  :class:`~repro.service.IndexCache` and a worker pool, with traffic
-  driven by :class:`~repro.service.TrafficGenerator` over the scenarios
-  in ``repro.workloads`` (DESIGN.md §5, ``BENCH_service.json``);
+  :class:`~repro.service.IndexCache` and a worker pool with cost-aware
+  (``sjf`` / ``deadline``) drain policies, with traffic driven by
+  :class:`~repro.service.TrafficGenerator` over the scenarios in
+  ``repro.workloads`` (DESIGN.md §5, ``BENCH_service.json``,
+  ``BENCH_scheduler.json``);
 * a **hardware performance model** (``repro.hw``, ``repro.workloads``,
   ``repro.experiments``) — analytical models of every zkPHIRE module,
   calibrated baselines, and the design-space exploration that regenerates
@@ -28,8 +35,10 @@ BENCH_sumcheck.json for the recorded fast-path perf trajectory.
 __version__ = "0.1.0"
 
 from repro.fields import Fq, Fr
+from repro.plan import FunctionalProverCostModel, ProofPlan, hyperplonk_plan
 from repro.service import (
     IndexCache,
+    JobCostModel,
     ProofJob,
     ProofResult,
     ProvingService,
@@ -40,11 +49,15 @@ from repro.service import (
 __all__ = [
     "Fr",
     "Fq",
+    "FunctionalProverCostModel",
     "IndexCache",
+    "JobCostModel",
     "ProofJob",
     "ProofResult",
+    "ProofPlan",
     "ProvingService",
     "ServiceConfig",
     "TrafficGenerator",
+    "hyperplonk_plan",
     "__version__",
 ]

@@ -1,6 +1,9 @@
 """Run every experiment and print its table: ``python -m repro.experiments``.
 
-``--full`` disables the reduced fast grids (slower, finer DSE sweeps).
+``--full`` disables the reduced fast grids (slower, finer DSE sweeps);
+``--list`` prints the valid experiment names and exits.  Unknown
+experiment names fail fast with the valid list (exit code 2) instead of
+surfacing importlib internals.
 """
 
 from __future__ import annotations
@@ -15,8 +18,24 @@ from repro.experiments import ALL_EXPERIMENTS
 def main(argv: list[str] | None = None) -> int:
     if argv is None:  # console-script entry point (pyproject repro-experiments)
         argv = sys.argv[1:]
+    if "--list" in argv:
+        for name in ALL_EXPERIMENTS:
+            print(name)
+        return 0
+    known_flags = {"--full"}
+    bad_flags = sorted({a for a in argv
+                        if a.startswith("-") and a not in known_flags})
+    if bad_flags:
+        print(f"unknown flag(s): {', '.join(bad_flags)}", file=sys.stderr)
+        print("valid flags: --full, --list", file=sys.stderr)
+        return 2
     fast = "--full" not in argv
     selected = [a for a in argv if not a.startswith("-")]
+    unknown = sorted(set(selected) - set(ALL_EXPERIMENTS))
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"valid names: {', '.join(ALL_EXPERIMENTS)}", file=sys.stderr)
+        return 2
     names = selected or ALL_EXPERIMENTS
     for name in names:
         module = importlib.import_module(f"repro.experiments.{name}")

@@ -14,6 +14,7 @@ from repro.experiments.common import ExperimentResult
 from repro.hw.accelerator import ZkPhireModel
 from repro.hw.config import AcceleratorConfig
 from repro.hw.cpu_baseline import CpuModel
+from repro.plan import hyperplonk_plan
 
 
 def run(fast: bool = True) -> ExperimentResult:
@@ -29,18 +30,15 @@ def run(fast: bool = True) -> ExperimentResult:
                             "time (ms)": seconds * 1e3,
                             "share %": 100 * seconds / setups.PARETO_CPU_S})
 
+    # both platforms price the one shared plan (repro.plan)
+    plan = hyperplonk_plan("jellyfish", setups.PARETO_NUM_VARS)
     cfg = AcceleratorConfig.exemplar()
     unmasked = AcceleratorConfig(sumcheck=cfg.sumcheck, msm=cfg.msm,
                                  forest=cfg.forest,
                                  bandwidth_gbps=cfg.bandwidth_gbps,
                                  mask_zerocheck=False)
-    bd = ZkPhireModel(unmasked).breakdown("jellyfish", setups.PARETO_NUM_VARS)
-    phases = {
-        "Witness MSMs": bd.witness_msm,
-        "Gate Identity": bd.zerocheck,
-        "Wire Identity": bd.wire_identity,
-        "Batch Evals & Poly Open": bd.batch_and_open,
-    }
+    bd = ZkPhireModel(unmasked).price(plan)
+    phases = bd.phase_groups()
     total = sum(phases.values())
     for phase, seconds in phases.items():
         result.rows.append({"platform": "zkPHIRE", "phase": phase,

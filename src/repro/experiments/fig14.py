@@ -13,6 +13,7 @@ from repro.experiments import setups
 from repro.experiments.common import ExperimentResult
 from repro.hw.accelerator import ZkPhireModel
 from repro.hw.config import AcceleratorConfig
+from repro.plan import hyperplonk_plan
 
 DEGREES = tuple(range(2, 31))
 FIG14_NUM_VARS = 24
@@ -29,8 +30,10 @@ def run(fast: bool = True) -> ExperimentResult:
     crossover = None
     for d in degrees:
         profile = setups.sweep_profile(d, with_fr=True)
-        bd = model.breakdown("vanilla", FIG14_NUM_VARS,
-                             custom_zerocheck=profile)
+        # one shared plan per degree: only the ZeroCheck phase changes
+        plan = hyperplonk_plan("vanilla", FIG14_NUM_VARS,
+                               custom_zerocheck=profile)
+        bd = model.price(plan)
         total = bd.total
         sc = bd.zerocheck + bd.permcheck + bd.opencheck
         # exposed (non-overlapped) SumCheck time actually on the clock

@@ -16,6 +16,7 @@ from repro.hw.cpu_baseline import CpuModel
 from repro.hw.gpu_baseline import GPU_RUNTIMES_MS, gpu_supported
 from repro.hw.scheduler import PolyProfile, TermProfile
 from repro.hw.sumcheck_unit import SumCheckUnitModel
+from repro.plan import hyperplonk_plan
 
 TABLE2_BANDWIDTH = 1024.0
 
@@ -34,7 +35,16 @@ def _rows():
         TermProfile((("qM", 1), ("w1", 1), ("w2", 1))),
         TermProfile((("qC", 1),)),
     ])
-    hp = {g: PolyProfile.from_gate(gate_by_id(g)) for g in (21, 22, 23, 24)}
+    # the HyperPlonk rows 21-23 are exactly the shared plan's ZeroCheck /
+    # PermCheck phase profiles; row 24 is the gate library's OpenCheck
+    vanilla = hyperplonk_plan("vanilla", 24)
+    jellyfish = hyperplonk_plan("jellyfish", 24)
+    hp = {
+        21: vanilla.sumcheck_profile("permcheck"),
+        22: jellyfish.sumcheck_profile("zerocheck"),
+        23: jellyfish.sumcheck_profile("permcheck"),
+        24: PolyProfile.from_gate(gate_by_id(24)),
+    }
     return [
         ("(A*B-C)*f_tau", spartan1, 24, 1, 6770, "spartan1"),
         ("(SumABC)*Z", spartan2, 25, 1, 5237, "spartan2"),

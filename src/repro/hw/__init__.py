@@ -22,6 +22,12 @@ Modules
 ``zkspeed``         zkSpeed / zkSpeed+ comparator models
 ``accelerator``     full-protocol schedule incl. ZeroCheck masking
 ``dse``             design-space exploration and Pareto frontiers
+
+The protocol *inventory* (which MSMs/SumChecks/Forest passes one proof
+performs) lives in the shared plan layer: ``ZkPhireModel.price(plan)``
+and ``CpuModel.price(plan)`` price a :class:`repro.plan.ProofPlan`, and
+``breakdown()`` is the shape-level convenience that builds the canonical
+plan first (DESIGN.md §6).
 """
 
 from repro.hw.config import (

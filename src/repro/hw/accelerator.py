@@ -1,4 +1,4 @@
-"""Full-protocol zkPHIRE model: the five HyperPlonk steps on hardware.
+"""Full-protocol zkPHIRE model: pricing a HyperPlonk ProofPlan.
 
 Composes the per-module models into an end-to-end prover latency with
 the paper's schedule (§IV-A), including the Masking-ZeroCheck
@@ -6,11 +6,14 @@ optimization: Gate Identity's ZeroCheck runs concurrently with the Wire
 Identity MSMs (MSMs dominate and have low bandwidth pressure, so the
 overlap hides ZeroCheck latency almost entirely).
 
-MSM inventory per proof (§IV-B3): one sparse MSM per witness column
-(5 for Jellyfish, 3 for Vanilla); dense MSMs for φ and the (2N-entry)
-product tree during Wire Identity; and dense MSM work for the final
-batched openings (combined-polynomial quotients ≈ N, product-tree
-quotients ≈ 2N).
+The *inventory* — which MSMs, SumChecks, and Forest passes one proof
+performs, at which sizes — is no longer derived here: it comes from the
+shared :class:`repro.plan.ProofPlan` phase DAG (§IV-B3 maps to the
+plan's ``witness_msm`` / ``wiring_msm`` / ``opening_msm`` phases).
+:meth:`ZkPhireModel.price` prices any plan; :meth:`ZkPhireModel.breakdown`
+is the shape-level convenience that builds the canonical plan first.
+What stays here is purely the *hardware schedule*: which phases overlap
+on the accelerator (:class:`ProtocolBreakdown`'s properties).
 """
 
 from __future__ import annotations
@@ -23,9 +26,24 @@ from repro.hw.forest import ForestModel
 from repro.hw.mle_combine import MLECombineModel
 from repro.hw.msm_unit import MSMUnitModel
 from repro.hw.permquot import PermQuotModel
-from repro.hw.scheduler import PolyProfile, TermProfile
 from repro.hw.sumcheck_unit import SumCheckUnitModel
-from repro.hyperplonk.circuit import GateType, JELLYFISH, VANILLA
+from repro.plan import (
+    OPENCHECK_POINTS,
+    PolyProfile,
+    ProofPlan,
+    gate_type_by_name,
+    hyperplonk_plan,
+    opencheck_profile,
+)
+
+__all__ = [
+    "OPENCHECK_POINTS",
+    "ProtocolBreakdown",
+    "ZkPhireModel",
+    "gate_type_by_name",
+    "opencheck_profile",
+    "proof_size_bytes",
+]
 
 
 @dataclass
@@ -85,28 +103,15 @@ class ProtocolBreakdown:
             "PolyOpen MSM": self.opening_msm,
         }
 
-
-def gate_type_by_name(name: str) -> GateType:
-    if name == "vanilla":
-        return VANILLA
-    if name == "jellyfish":
-        return JELLYFISH
-    raise ValueError(f"unknown gate type {name!r}")
-
-
-#: distinct opening points in the protocol (Table I row 24 has six
-#: y_i · fr_i terms; polynomials opened at the same point are first
-#: random-linear-combined by the MLE Combine module)
-OPENCHECK_POINTS = 6
-
-
-def opencheck_profile(num_points: int = OPENCHECK_POINTS) -> PolyProfile:
-    """Table I row 24: Σ_i y_i(x) · eq_i(x) over the distinct opening
-    points, degree 2.  y_i is the pre-combined polynomial for point i."""
-    terms = [
-        TermProfile(((f"y{i}", 1), (f"fr{i}", 1))) for i in range(num_points)
-    ]
-    return PolyProfile(name=f"opencheck-{num_points}", terms=terms)
+    def phase_groups(self) -> dict[str, float]:
+        """The paper's four top-level protocol phases (Fig 12b grouping),
+        with the accelerator's overlaps applied."""
+        return {
+            "Witness MSMs": self.witness_msm,
+            "Gate Identity": self.zerocheck,
+            "Wire Identity": self.wire_identity,
+            "Batch Evals & Poly Open": self.batch_and_open,
+        }
 
 
 class ZkPhireModel:
@@ -121,20 +126,46 @@ class ZkPhireModel:
         self.permquot = PermQuotModel(config.permquot, bw, f)
         self.mle_combine = MLECombineModel(bw, f)
 
-    # -- polynomial profiles --------------------------------------------------
-    def _zerocheck_profile(self, gate_type: GateType) -> PolyProfile:
-        return PolyProfile.from_gate(gate_by_id(gate_type.zerocheck_gate_id))
-
-    def _permcheck_profile(self, gate_type: GateType) -> PolyProfile:
-        return PolyProfile.from_gate(gate_by_id(gate_type.permcheck_gate_id))
-
-    def _num_claims(self, gate_type: GateType) -> int:
-        k = gate_type.num_witnesses
-        selectors = len(gate_type.selector_names)
-        # gate point: selectors + witnesses; perm point: w, σ, φ
-        return selectors + k + (2 * k + 1)
-
     # -- the model ---------------------------------------------------------------
+    def price(self, plan: ProofPlan) -> ProtocolBreakdown:
+        """Price every phase of ``plan`` on this design point.
+
+        The plan supplies the inventory (MSM sizes/sparsity, SumCheck
+        profiles, Forest pass shapes); this model supplies per-module
+        latencies and the overlap schedule.
+        """
+        mu = plan.num_vars
+
+        def msm_latency(name: str) -> float:
+            return sum(self.msm.latency_s(t.points, sparse=t.sparse)
+                       for t in plan.phase(name).msms)
+
+        def sumcheck_latency(name: str) -> float:
+            phase = plan.phase(name)
+            return self.sumcheck.run(phase.poly, mu,
+                                     fuse_fr=phase.fuse_fr).latency_s
+
+        pq_phase = plan.phase("permquot")
+        return ProtocolBreakdown(
+            witness_msm=msm_latency("witness_msm"),
+            zerocheck=sumcheck_latency("zerocheck"),
+            permquot=self.permquot.run(pq_phase.rows,
+                                       pq_phase.columns).latency_s,
+            prod_tree=self.forest.product_tree(
+                plan.phase("prod_tree").rows).latency_s,
+            wiring_msm=msm_latency("wiring_msm"),
+            permcheck=sumcheck_latency("permcheck"),
+            batch_evals=self.forest.batch_eval(
+                plan.phase("batch_evals").streams,
+                plan.phase("batch_evals").rows).latency_s,
+            mle_combine=self.mle_combine.run(
+                plan.phase("mle_combine").rows,
+                streams=plan.phase("mle_combine").streams).latency_s,
+            opencheck=sumcheck_latency("opencheck"),
+            opening_msm=msm_latency("opening_msm"),
+            masked=self.config.mask_zerocheck,
+        )
+
     def breakdown(self, gate_type_name: str, num_vars: int,
                   custom_zerocheck: PolyProfile | None = None) -> ProtocolBreakdown:
         """Model a full proof for 2^num_vars gates.
@@ -142,47 +173,8 @@ class ZkPhireModel:
         ``custom_zerocheck`` substitutes the Gate-Identity polynomial
         (used by the high-degree sweep, Fig 14).
         """
-        gate_type = gate_type_by_name(gate_type_name)
-        n = 1 << num_vars
-        k = gate_type.num_witnesses
-
-        witness_msm = sum(
-            self.msm.latency_s(n, sparse=True) for _ in range(k)
-        )
-
-        zc_profile = custom_zerocheck or self._zerocheck_profile(gate_type)
-        zerocheck = self.sumcheck.run(zc_profile, num_vars).latency_s
-
-        pq = self.permquot.run(n, k)
-        tree = self.forest.product_tree(n)
-        wiring_msm = (self.msm.latency_s(n, sparse=False)
-                      + self.msm.latency_s(2 * n, sparse=False))
-        permcheck = self.sumcheck.run(
-            self._permcheck_profile(gate_type), num_vars
-        ).latency_s
-
-        claims = self._num_claims(gate_type)
-        batch = self.forest.batch_eval(claims, n)
-        combine = self.mle_combine.run(n, streams=claims)
-        oc_profile = opencheck_profile()
-        opencheck = self.sumcheck.run(oc_profile, num_vars,
-                                      fuse_fr=False).latency_s
-        opening_msm = (self.msm.latency_s(n, sparse=False)
-                       + self.msm.latency_s(2 * n, sparse=False))
-
-        return ProtocolBreakdown(
-            witness_msm=witness_msm,
-            zerocheck=zerocheck,
-            permquot=pq.latency_s,
-            prod_tree=tree.latency_s,
-            wiring_msm=wiring_msm,
-            permcheck=permcheck,
-            batch_evals=batch.latency_s,
-            mle_combine=combine.latency_s,
-            opencheck=opencheck,
-            opening_msm=opening_msm,
-            masked=self.config.mask_zerocheck,
-        )
+        return self.price(hyperplonk_plan(gate_type_name, num_vars,
+                                          custom_zerocheck=custom_zerocheck))
 
     def prove_latency_s(self, gate_type_name: str, num_vars: int,
                         custom_zerocheck: PolyProfile | None = None) -> float:

@@ -3,18 +3,30 @@
 The paper benchmarks SumChecks on an AMD EPYC 7502 (4 threads for the
 standalone unit, 32 threads for the full protocol).  We reproduce those
 baselines with an operation-count model: a SumCheck's modular-multiply
-count follows directly from the polynomial structure, and a single
+count follows directly from the polynomial structure (the shared
+:func:`repro.plan.cost.sumcheck_modmuls` formula), and a single
 calibration constant (effective ns per modmul at 4 threads) is fitted to
 Table II's CPU column.  Full-protocol CPU times come from the paper's
 reported per-workload measurements (``repro.workloads``); the per-phase
-split of Figure 12a is exposed for the breakdown experiment.
+split of Figure 12a is exposed for the breakdown experiment, and
+:meth:`CpuModel.price` prices a whole :class:`~repro.plan.ProofPlan`
+analytically (per-phase modmul estimates × the calibrated constant).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.hw.scheduler import PolyProfile
+from repro.plan.cost import PlanPrice, plan_modmuls, sumcheck_modmuls
+from repro.plan.profiles import PolyProfile
+from repro.plan.proof_plan import ProofPlan
+
+__all__ = [
+    "CPU_PHASE_FRACTIONS",
+    "CpuModel",
+    "NS_PER_MODMUL_4T",
+    "sumcheck_modmuls",
+]
 
 #: effective nanoseconds per 255-bit modular multiply at the reference
 #: 4-thread setting.  Fitted as the geometric mean of the constants
@@ -36,21 +48,6 @@ CPU_PHASE_FRACTIONS = {
 }
 
 
-def sumcheck_modmuls(poly: PolyProfile, num_vars: int) -> float:
-    """Modular multiplies a software SumCheck performs.
-
-    Per table pair: (d-1) extension muls per distinct MLE, Σ_t deg_t
-    product muls per evaluation point across d+1 points, and one update
-    mul per distinct MLE.  Total pairs over all rounds = 2^μ - 1 ≈ N.
-    """
-    d = poly.degree
-    uniq = len(poly.unique_mles)
-    prod = sum(t.degree for t in poly.terms)
-    per_pair = uniq * (d - 1) + (d + 1) * prod + uniq
-    pairs = (1 << num_vars) - 1
-    return float(per_pair * pairs)
-
-
 @dataclass
 class CpuModel:
     """SumCheck CPU timing: op count × calibrated per-op cost."""
@@ -70,6 +67,19 @@ class CpuModel:
                          repeats: int = 1) -> float:
         muls = sumcheck_modmuls(poly, num_vars) * repeats
         return muls * self._ns_per_modmul() * 1e-9
+
+    def price(self, plan: ProofPlan) -> PlanPrice:
+        """Analytic per-phase CPU seconds for a whole proof plan.
+
+        CPUs overlap nothing, so ``price(plan).total_s`` is the plain
+        phase sum (contrast ``ZkPhireModel.price``, whose breakdown
+        applies the accelerator's overlap schedule).
+        """
+        ns = self._ns_per_modmul()
+        return PlanPrice({
+            name: muls * ns * 1e-9
+            for name, muls in plan_modmuls(plan).items()
+        })
 
     def phase_breakdown(self, total_seconds: float) -> dict[str, float]:
         """Split a measured full-protocol runtime by Figure 12a's shares."""

@@ -31,6 +31,7 @@ from repro.hw.config import (
 )
 from repro.hw.scheduler import PolyProfile
 from repro.hw.sumcheck_unit import SumCheckUnitModel
+from repro.plan import hyperplonk_plan
 
 # Table III knob values
 SC_PES = (1, 2, 4, 8, 16, 32)
@@ -186,13 +187,17 @@ def accelerator_dse(
             for p, w, pp in product(MSM_PES, MSM_WINDOWS, MSM_POINTS)
         ]
 
+    # the shared plan fixes the phase inventory once for the whole sweep;
+    # every design point prices the same plan
+    plan = hyperplonk_plan(gate_type_name, num_vars)
+
     # -- prune the SumCheck side: latency proxy = sum of its 3 SumChecks ---
     sc_points = []
     for cfg in sc_grid:
         acc = AcceleratorConfig(sumcheck=cfg, bandwidth_gbps=bandwidth_gbps,
                                 mask_zerocheck=mask_zerocheck)
         model = ZkPhireModel(acc)
-        bd = model.breakdown(gate_type_name, num_vars)
+        bd = model.price(plan)
         sc_lat = bd.zerocheck + bd.permcheck + bd.opencheck
         sc_area = (area_model.sumcheck_area(cfg)
                    + area_model.forest_area(acc.forest))
@@ -201,7 +206,9 @@ def accelerator_dse(
 
     # -- prune the MSM side -------------------------------------------------
     msm_points = []
-    gate_type_k = 5 if gate_type_name == "jellyfish" else 3
+    # the plan's MSM inventory: k sparse witness columns, plus the wiring
+    # and opening phases (each one N-point and one 2N-point dense MSM)
+    gate_type_k = len(plan.phase("witness_msm").msms)
     n = 1 << num_vars
     from repro.hw.msm_unit import MSMUnitModel
 
@@ -220,7 +227,7 @@ def accelerator_dse(
                                     bandwidth_gbps=bandwidth_gbps,
                                     mask_zerocheck=mask_zerocheck)
             model = ZkPhireModel(acc)
-            runtime = model.prove_latency_s(gate_type_name, num_vars)
+            runtime = model.price(plan).total
             breakdown = area_model.accelerator_area(acc)
             out.append(DesignPoint(config=acc, runtime_s=runtime,
                                    area_mm2=breakdown.total))

@@ -1,0 +1,96 @@
+"""Composite-polynomial profiles: the shared cost vocabulary.
+
+A :class:`PolyProfile` is the structural summary of a composite
+SumCheck polynomial — its product terms, degrees, and per-MLE storage
+classes — that every cost consumer speaks: the Figure-2 hardware
+scheduler (:mod:`repro.hw.scheduler`), the CPU baseline's modmul
+formula, and the :class:`~repro.plan.proof_plan.ProofPlan` phase DAG.
+The classes were born inside ``repro.hw.scheduler`` and are still
+re-exported there; they live in the plan layer so that describing a
+proof's work never requires importing a hardware model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.gates.compiler import CompiledGate
+from repro.gates.library import GateSpec
+
+#: reserved name of the ZeroCheck randomizer
+FR_NAME = "fr"
+
+
+@dataclass(frozen=True)
+class TermProfile:
+    """One product term: (mle name, power) factors."""
+
+    factors: tuple[tuple[str, int], ...]
+
+    @property
+    def degree(self) -> int:
+        return sum(p for _, p in self.factors)
+
+    @property
+    def distinct(self) -> int:
+        return len(self.factors)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.factors)
+
+
+@dataclass
+class PolyProfile:
+    """The scheduler's view of a composite polynomial.
+
+    ``mle_classes`` maps each constituent MLE to a storage class used by
+    the round-1 traffic model: ``selector`` (0/1 bitstream), ``sparse``
+    (~90% zero/one witness data, offset-buffer encoded), or ``dense``.
+    """
+
+    name: str
+    terms: list[TermProfile]
+    mle_classes: dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        for t in self.terms:
+            for n, _ in t.factors:
+                self.mle_classes.setdefault(n, "dense")
+
+    @property
+    def degree(self) -> int:
+        return max(t.degree for t in self.terms)
+
+    @property
+    def unique_mles(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for t in self.terms:
+            for n, _ in t.factors:
+                seen.setdefault(n)
+        return list(seen)
+
+    @property
+    def has_fr(self) -> bool:
+        return FR_NAME in self.unique_mles
+
+    @classmethod
+    def from_gate(cls, spec: GateSpec) -> "PolyProfile":
+        return cls.from_compiled(spec.compiled, selector_names=spec.selector_names)
+
+    @classmethod
+    def from_compiled(cls, compiled: CompiledGate,
+                      selector_names: Sequence[str] = ()) -> "PolyProfile":
+        terms = [TermProfile(m.factors) for m in compiled.monomials]
+        classes: dict[str, str] = {}
+        for name in compiled.mle_names:
+            if name == FR_NAME:
+                classes[name] = "dense"
+            elif name in selector_names:
+                classes[name] = "selector"
+            elif name.startswith(("w", "qc", "qC")):
+                classes[name] = "sparse"
+            else:
+                classes[name] = "dense"
+        return cls(name=compiled.name, terms=terms, mle_classes=classes)

@@ -9,7 +9,10 @@ the software serving substrate above the functional HyperPlonk stack
 * :mod:`repro.service.cache` — :class:`IndexCache`, a content-addressed
   LRU of preprocessed circuit indexes (circuit hash → prover/verifier
   index) with hit/miss/eviction stats;
-* :mod:`repro.service.batching` — same-circuit batch planning;
+* :mod:`repro.service.batching` — same-circuit batch planning with
+  policy-driven drain order (``fifo`` / ``sjf`` / ``deadline``);
+* :mod:`repro.service.costing` — :class:`JobCostModel`, per-job cost
+  prediction over the shared :mod:`repro.plan` layer;
 * :mod:`repro.service.workers` — sync / thread / process executors;
 * :mod:`repro.service.metrics` — :class:`ServiceMetrics` (throughput,
   p50/p95 latency, cache hit rate, per-worker utilization, op tallies);
@@ -22,9 +25,15 @@ Demo CLI: ``python -m repro.service --scenario zipf-mixed --jobs 12``
 and ``benchmarks/test_service_throughput.py`` (``BENCH_service.json``).
 """
 
-from repro.service.batching import Batch, plan_batches
+from repro.service.batching import (
+    Batch,
+    DRAIN_POLICIES,
+    order_jobs,
+    plan_batches,
+)
 from repro.service.cache import CacheStats, IndexCache
 from repro.service.core import ProvingService, ServiceConfig
+from repro.service.costing import JobCostModel
 from repro.service.jobs import ProofJob, ProofResult, RequestClass
 from repro.service.metrics import ServiceMetrics, percentile
 from repro.service.traffic import TrafficGenerator, synthesize_circuit
@@ -40,8 +49,10 @@ from repro.service.workers import (
 __all__ = [
     "Batch",
     "CacheStats",
+    "DRAIN_POLICIES",
     "EXECUTOR_KINDS",
     "IndexCache",
+    "JobCostModel",
     "ProcessExecutor",
     "ProofJob",
     "ProofResult",
@@ -54,6 +65,7 @@ __all__ = [
     "TrafficGenerator",
     "WorkerPool",
     "make_executor",
+    "order_jobs",
     "percentile",
     "plan_batches",
     "synthesize_circuit",

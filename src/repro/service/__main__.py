@@ -10,6 +10,8 @@ import argparse
 import json
 import sys
 
+from repro.plan import FunctionalProverCostModel
+from repro.service.batching import DRAIN_POLICIES
 from repro.service.core import ProvingService, ServiceConfig
 from repro.service.traffic import TrafficGenerator
 from repro.service.workers import EXECUTOR_KINDS
@@ -28,6 +30,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--jobs", type=int, default=8,
                         help="number of proof requests to generate")
     parser.add_argument("--executor", default="sync", choices=EXECUTOR_KINDS)
+    parser.add_argument("--policy", default="fifo", choices=DRAIN_POLICIES,
+                        help="drain order: fifo, shortest-job-first, or "
+                             "deadline-aware (cost model: repro.plan)")
     parser.add_argument("--workers", type=int, default=2,
                         help="worker count for thread/process executors")
     parser.add_argument("--backend", default="fused",
@@ -58,6 +63,8 @@ def main(argv: list[str] | None = None) -> int:
         default_backend=args.backend,
         verify_proofs=not args.no_verify,
         collect_counters=args.counters,
+        drain_policy=args.policy,
+        predict_costs=True,
     )
     jobs = gen.jobs(args.jobs)
     with ProvingService(config) as service:
@@ -68,10 +75,14 @@ def main(argv: list[str] | None = None) -> int:
         print(json.dumps(summary, indent=2))
         return 0
 
-    print(f"scenario        : {args.scenario} "
-          f"({SCENARIOS[args.scenario].description})")
+    scenario = SCENARIOS[args.scenario]
+    print(f"scenario        : {args.scenario} ({scenario.description})")
+    print(f"predicted cost  : "
+          f"{scenario.expected_job_cost_s(FunctionalProverCostModel()):.3f} "
+          f"s/job (plan model)")
     print(f"executor        : {summary['executor']} "
-          f"x{summary['num_workers']}, backend={args.backend}")
+          f"x{summary['num_workers']}, backend={args.backend}, "
+          f"policy={summary['drain_policy']}")
     print(f"jobs            : {summary['jobs']} "
           f"({summary['by_class']}) in {summary['batches']} batches / "
           f"{summary['drains']} waves")
@@ -89,6 +100,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"worker {w['worker_id']:<10}: {w['jobs']} jobs, "
               f"busy {w['busy_s']:.3f} s "
               f"(utilization {w['utilization']:.0%})")
+    if "prediction" in summary:
+        pred = summary["prediction"]
+        cap = summary["estimated_capacity_proofs_per_s"]
+        print(f"prediction      : {pred['predicted_total_s']:.3f} s predicted "
+              f"vs {pred['actual_total_s']:.3f} s actual "
+              f"(MAPE {pred['mean_abs_error_pct']:.0f}%); "
+              f"est. capacity {cap.get('predicted', 0.0):.2f} proofs/s")
     if "ops" in summary:
         ops = summary["ops"]
         print(f"field ops       : {ops['mul']:,} mul / {ops['add']:,} add "

@@ -5,6 +5,10 @@
 content-addressed :class:`~repro.service.cache.IndexCache`, groups
 same-circuit requests into batches, and drains them through a
 configurable worker pool with per-job field-vector backend selection.
+Drain order is policy-driven (``fifo`` / ``sjf`` / ``deadline``): the
+cost-aware policies price every job with a :mod:`repro.plan` cost model,
+and :class:`~repro.service.metrics.ServiceMetrics` reports the
+predicted-vs-actual error plus an estimated service capacity.
 
 Every proof is produced by a plain ``HyperPlonkProver.prove()`` call
 with its own fresh Fiat–Shamir transcript (the prover constructs one
@@ -24,8 +28,9 @@ from repro.fields.vector import backend_name
 from repro.hyperplonk.circuit import Circuit
 from repro.hyperplonk.commitment import MultilinearKZG, TrapdoorSRS
 from repro.hyperplonk.verifier import HyperPlonkError, HyperPlonkVerifier
-from repro.service.batching import plan_batches
+from repro.service.batching import DRAIN_POLICIES, plan_batches
 from repro.service.cache import IndexCache
+from repro.service.costing import JobCostModel
 from repro.service.jobs import ProofJob, ProofResult, RequestClass
 from repro.service.metrics import ServiceMetrics
 from repro.service.workers import EXECUTOR_KINDS, ProveTask, make_executor
@@ -50,6 +55,17 @@ class ServiceConfig:
     default_backend: str | None = None
     #: split same-circuit groups larger than this (None = unbounded)
     max_batch_size: int | None = None
+    #: drain order: ``fifo`` | ``sjf`` | ``deadline``
+    #: (:mod:`repro.service.batching`); the cost-aware policies price
+    #: every job through the cost model
+    drain_policy: str = "fifo"
+    #: shape-level cost model (``shape_cost_s(gate, μ)``); ``None`` uses
+    #: the plan layer's :class:`~repro.plan.FunctionalProverCostModel`
+    #: whenever a cost-aware policy or prediction metrics need one
+    cost_model: object | None = None
+    #: predict per-job cost even under ``fifo`` (enables the
+    #: predicted-vs-actual metrics without changing drain order)
+    predict_costs: bool = False
     #: verify every proof in-service before returning it
     verify_proofs: bool = False
     #: attach an OpCounter to every job and aggregate tallies in metrics
@@ -76,8 +92,17 @@ class ProvingService:
                 f"unknown executor {config.executor!r}; "
                 f"choose from {EXECUTOR_KINDS}"
             )
+        if config.drain_policy not in DRAIN_POLICIES:
+            raise ValueError(
+                f"unknown drain policy {config.drain_policy!r}; "
+                f"choose from {DRAIN_POLICIES}"
+            )
         if config.default_backend is not None:
             backend_name(config.default_backend)  # validate early
+        self.cost_model: JobCostModel | None = None
+        if (config.cost_model is not None or config.predict_costs
+                or config.drain_policy != "fifo"):
+            self.cost_model = JobCostModel(config.cost_model)
         if kzg is None:
             srs = TrapdoorSRS(config.max_vars + 1,
                               random.Random(config.srs_seed))
@@ -147,7 +172,13 @@ class ProvingService:
         if not jobs:
             return []
         cfg = self.config
-        batches = plan_batches(jobs, cfg.max_batch_size)
+        if self.cost_model is not None:
+            for job in jobs:  # stamp predictions for policies + metrics
+                self.cost_model.job_cost_s(job)
+        batches = plan_batches(
+            jobs, cfg.max_batch_size,
+            policy=cfg.drain_policy, cost_fn=self.cost_model,
+        )
 
         # process workers resolve indexes against their own caches; the
         # coordinator only preprocesses when it must verify
@@ -191,7 +222,8 @@ class ProvingService:
                 worker_id=outcome.worker_id, cache_hit=outcome.cache_hit,
                 batch_size=batch_size, submitted_s=job.submitted_s,
                 started_s=outcome.started_s, finished_s=outcome.finished_s,
-                prove_s=outcome.prove_s, counter=outcome.counter,
+                prove_s=outcome.prove_s, predicted_s=job.predicted_cost_s,
+                counter=outcome.counter,
             )
             self.metrics.record_result(result)
             results.append(result)
@@ -246,9 +278,11 @@ class ProvingService:
         """Metrics summary over everything drained so far."""
         wall = (self._t_end - self._t0
                 if self._t0 is not None and self._t_end > self._t0 else 0.0)
-        doc = self.metrics.summary(wall, cache_stats=self.cache.stats)
+        doc = self.metrics.summary(wall, cache_stats=self.cache.stats,
+                                   num_workers=self.pool.num_workers)
         doc["executor"] = self.pool.kind
         doc["num_workers"] = self.pool.num_workers
+        doc["drain_policy"] = self.config.drain_policy
         return doc
 
     def close(self) -> None:

@@ -1,0 +1,38 @@
+"""Job-level cost prediction for the cost-aware scheduler.
+
+:class:`JobCostModel` adapts a shape-level :mod:`repro.plan` cost model
+(anything with ``shape_cost_s(gate_type_name, num_vars) -> float``) to
+:class:`~repro.service.jobs.ProofJob`\\ s, stamping each job's
+``predicted_cost_s`` so the drain policies, metrics, and results all see
+one consistent prediction.  Predictions are memoized per circuit shape —
+two jobs proving different witnesses of one circuit structure cost the
+same.
+
+The default shape model is
+:class:`~repro.plan.cost.FunctionalProverCostModel`, which prices the
+pure-Python prover the service actually runs.  Pass an
+:class:`~repro.plan.cost.AcceleratorCostModel` instead to schedule as an
+accelerator-backed fleet would.
+"""
+
+from __future__ import annotations
+
+from repro.plan.cost import FunctionalProverCostModel, ShapeCostModel
+from repro.service.jobs import ProofJob
+
+
+class JobCostModel:
+    """Predicted prove seconds per job, cached by circuit shape."""
+
+    def __init__(self, shape_model: ShapeCostModel | None = None):
+        self.shape_model = shape_model or FunctionalProverCostModel()
+
+    def job_cost_s(self, job: ProofJob) -> float:
+        """Predict (and stamp) ``job.predicted_cost_s``."""
+        if job.predicted_cost_s is None:
+            job.predicted_cost_s = self.shape_model.shape_cost_s(
+                job.circuit.gate_type.name, job.circuit.num_vars
+            )
+        return job.predicted_cost_s
+
+    __call__ = job_cost_s

@@ -50,11 +50,16 @@ class ProofJob:
     priority: int = 0
     #: model-time arrival offset assigned by the traffic generator, seconds
     arrival_s: float = 0.0
+    #: model-time completion target for the ``deadline`` drain policy
+    #: (absolute, same clock as ``arrival_s``); ``None`` = no deadline
+    deadline_s: float | None = None
     #: free-form label (scenario / workload name) carried into results
     tag: str = ""
     circuit_key: str = ""
     #: wall-clock submission stamp, set by the service
     submitted_s: float = 0.0
+    #: predicted prove seconds, stamped by the service's cost model
+    predicted_cost_s: float | None = None
 
     def __post_init__(self):
         if not self.circuit_key:
@@ -93,6 +98,8 @@ class ProofResult:
     prove_s: float
     #: True if the service verified the proof (config.verify_proofs)
     verified: bool = False
+    #: the cost model's predicted prove seconds (None = no cost model)
+    predicted_s: float | None = None
     counter: OpCounter | None = dc_field(default=None, repr=False)
 
     @property

@@ -6,6 +6,14 @@ cache hit rate (both per-lookup, from the cache's own stats, and per-job,
 from result records — the two differ because a batch of *n* jobs performs
 one lookup), per-worker utilization, and aggregate
 :class:`~repro.fields.counters.OpCounter` tallies when collection is on.
+
+When the service runs with a cost model, results carry a
+``predicted_s`` and the summary gains a ``prediction`` section — how far
+the plan-derived predictions land from measured prove times (mean
+absolute percentage error, total predicted vs actual seconds) — plus
+``estimated_capacity_proofs_per_s``: the steady-state throughput the
+worker pool could sustain on this job mix, from both the predicted and
+the measured mean cost per proof.
 """
 
 from __future__ import annotations
@@ -73,8 +81,41 @@ class ServiceMetrics:
             return 0.0
         return sum(r.cache_hit for r in self.results) / len(self.results)
 
+    def prediction_error(self) -> dict | None:
+        """Predicted-vs-actual prove-time accuracy (None = no predictions)."""
+        pairs = [(r.predicted_s, r.prove_s) for r in self.results
+                 if r.predicted_s is not None]
+        if not pairs:
+            return None
+        predicted_total = sum(p for p, _ in pairs)
+        actual_total = sum(a for _, a in pairs)
+        abs_pct = [abs(p - a) / a * 100.0 for p, a in pairs if a > 0]
+        return {
+            "jobs": len(pairs),
+            "predicted_total_s": round(predicted_total, 6),
+            "actual_total_s": round(actual_total, 6),
+            "mean_abs_error_pct": (
+                round(sum(abs_pct) / len(abs_pct), 2) if abs_pct else 0.0
+            ),
+        }
+
+    def estimated_capacity(self, num_workers: int) -> dict:
+        """Steady-state proofs/sec ``num_workers`` could sustain on this
+        job mix: workers divided by the mean seconds per proof."""
+        prove = [r.prove_s for r in self.results if r.prove_s > 0]
+        predicted = [r.predicted_s for r in self.results
+                     if r.predicted_s is not None and r.predicted_s > 0]
+        out = {}
+        if prove:
+            out["actual"] = round(num_workers * len(prove) / sum(prove), 3)
+        if predicted:
+            out["predicted"] = round(
+                num_workers * len(predicted) / sum(predicted), 3)
+        return out
+
     def summary(self, wall_s: float,
-                cache_stats: CacheStats | None = None) -> dict:
+                cache_stats: CacheStats | None = None,
+                num_workers: int = 1) -> dict:
         lat = self.latencies()
         queue = [r.queue_s for r in self.results]
         prove = [r.prove_s for r in self.results]
@@ -112,6 +153,11 @@ class ServiceMetrics:
                                 key=lambda w: w.worker_id)
             ],
         }
+        prediction = self.prediction_error()
+        if prediction is not None:
+            doc["prediction"] = prediction
+            doc["estimated_capacity_proofs_per_s"] = (
+                self.estimated_capacity(num_workers))
         if cache_stats is not None:
             doc["cache"] = cache_stats.as_dict()
         if self.ops.mul or self.ops.add or self.ops.inv:

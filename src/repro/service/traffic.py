@@ -126,6 +126,9 @@ class TrafficGenerator:
                 witness_seed=self._rng.randrange(1 << 30),
                 field=self.field,
             )
+            deadline = None
+            if realtime and s.realtime_deadline_s is not None:
+                deadline = arrival + s.realtime_deadline_s
             out.append(ProofJob(
                 job_id=start_id + i,
                 circuit=circuit,
@@ -133,6 +136,7 @@ class TrafficGenerator:
                 request_class=(RequestClass.REALTIME if realtime
                                else RequestClass.DEFERRABLE),
                 arrival_s=arrival,
+                deadline_s=deadline,
                 tag=f"{s.name}/{gate_name}-mu{log2}",
             ))
         return out

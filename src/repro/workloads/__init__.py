@@ -1,5 +1,7 @@
 """Workload catalog: the paper's benchmark circuits plus named
-traffic-mix scenarios for the proving service (:mod:`repro.service`)."""
+traffic-mix scenarios for the proving service (:mod:`repro.service`),
+annotated with plan-predicted per-job cost
+(:func:`scenario_cost_annotations`)."""
 
 from repro.workloads.catalog import (
     SCENARIOS,
@@ -7,6 +9,7 @@ from repro.workloads.catalog import (
     WORKLOADS,
     Workload,
     scenario_by_name,
+    scenario_cost_annotations,
     workload_by_name,
 )
 
@@ -16,5 +19,6 @@ __all__ = [
     "WORKLOADS",
     "Workload",
     "scenario_by_name",
+    "scenario_cost_annotations",
     "workload_by_name",
 ]

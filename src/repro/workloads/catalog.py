@@ -91,10 +91,30 @@ class TrafficScenario:
     rate_rps: float
     #: fraction of requests in the REALTIME class (rest are DEFERRABLE)
     realtime_fraction: float
+    #: model-time slack granted to REALTIME requests (deadline =
+    #: arrival + slack, consumed by the ``deadline`` drain policy);
+    #: ``None`` = the scenario sets no deadlines
+    realtime_deadline_s: float | None = None
 
     @property
     def max_log2_gates(self) -> int:
         return max(size for size, _ in self.size_weights)
+
+    def expected_job_cost_s(self, cost_model) -> float:
+        """Predicted mean prove cost of one request from this mix.
+
+        ``cost_model`` is any shape-level :mod:`repro.plan` cost model
+        (``shape_cost_s(gate_type_name, num_vars) -> float``); the
+        expectation runs over the gate and size distributions.
+        """
+        gate_total = sum(w for _, w in self.gate_mix)
+        size_total = sum(w for _, w in self.size_weights)
+        return sum(
+            (gw / gate_total) * (sw / size_total)
+            * cost_model.shape_cost_s(gate, log2)
+            for gate, gw in self.gate_mix
+            for log2, sw in self.size_weights
+        )
 
 
 SCENARIOS: dict[str, TrafficScenario] = {
@@ -109,6 +129,7 @@ SCENARIOS: dict[str, TrafficScenario] = {
             arrival="uniform",
             rate_rps=8.0,
             realtime_fraction=1.0,
+            realtime_deadline_s=1.0,
         ),
         TrafficScenario(
             name="zipf-mixed",
@@ -119,6 +140,7 @@ SCENARIOS: dict[str, TrafficScenario] = {
             arrival="poisson",
             rate_rps=4.0,
             realtime_fraction=0.5,
+            realtime_deadline_s=2.0,
         ),
         TrafficScenario(
             name="jellyfish-heavy",
@@ -129,6 +151,7 @@ SCENARIOS: dict[str, TrafficScenario] = {
             arrival="burst",
             rate_rps=2.0,
             realtime_fraction=0.25,
+            realtime_deadline_s=4.0,
         ),
     )
 }
@@ -142,3 +165,20 @@ def scenario_by_name(name: str) -> TrafficScenario:
             f"unknown traffic scenario {name!r}; "
             f"available: {sorted(SCENARIOS)}"
         ) from None
+
+
+def scenario_cost_annotations(cost_model=None) -> dict[str, float]:
+    """Predicted mean per-job prove cost for every named scenario.
+
+    ``cost_model`` defaults to the plan layer's
+    :class:`~repro.plan.FunctionalProverCostModel` (the pure-Python
+    prover the service runs).  The service CLI prints these so operators
+    can see what a scenario costs before serving it.
+    """
+    if cost_model is None:
+        from repro.plan import FunctionalProverCostModel
+        cost_model = FunctionalProverCostModel()
+    return {
+        name: scenario.expected_job_cost_s(cost_model)
+        for name, scenario in sorted(SCENARIOS.items())
+    }

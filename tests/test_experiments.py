@@ -6,9 +6,29 @@ tests cover harness mechanics (row schemas, formatting, reuse paths).
 
 import pytest
 
+from repro.experiments import ALL_EXPERIMENTS
 from repro.experiments import table01, fig08, fig12, fig13, fig14
 from repro.experiments import table05, table06, table07, table08, table09
+from repro.experiments.__main__ import main as experiments_cli
 from repro.experiments.common import ExperimentResult, geomean
+
+
+class TestCLI:
+    def test_list_flag_prints_valid_names(self, capsys):
+        assert experiments_cli(["--list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert out == ALL_EXPERIMENTS
+
+    def test_unknown_name_fails_with_valid_names(self, capsys):
+        rc = experiments_cli(["fig99", "nope"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown experiment(s): fig99, nope" in err
+        assert "table01" in err and "fig12" in err
+
+    def test_known_name_still_runs(self, capsys):
+        assert experiments_cli(["table01"]) == 0
+        assert "Table I" in capsys.readouterr().out
 
 
 class TestCommon:

@@ -1,7 +1,9 @@
 """Cross-validation: hardware-model op counts vs the functional prover.
 
-DESIGN.md §6: the performance model's predicted operation counts must
-match what the instrumented functional SumCheck actually does.  The two
+DESIGN.md §4: the performance model's predicted operation counts must
+match what the instrumented functional SumCheck actually does.
+(Full-protocol op tallies are pinned plan-side by
+``tests/test_plan_crosscheck.py``, DESIGN.md §6.)  The two
 sides count slightly differently by construction:
 
 * product-lane muls: the model charges (deg_t - 1) multiplies per term

@@ -1,0 +1,127 @@
+"""Refactor lock (ISSUE 3 acceptance): ``ZkPhireModel`` and ``CpuModel``
+latencies are **bit-identical** to the pre-plan inventory code.
+
+The golden side re-derives each latency exactly the way the pre-refactor
+``hw.accelerator.ZkPhireModel.breakdown`` / ``hw.cpu_baseline`` code did
+— composing the per-module models inline with the hard-coded MSM
+inventory and phase sequencing — and asserts ``==`` (no tolerance)
+against the plan-priced path for every ``repro.workloads`` entry.
+"""
+
+import pytest
+
+from repro.gates import gate_by_id
+from repro.hw.accelerator import ZkPhireModel, opencheck_profile
+from repro.hw.config import AcceleratorConfig
+from repro.hw.cpu_baseline import (
+    CPU_PHASE_FRACTIONS,
+    CpuModel,
+    sumcheck_modmuls,
+)
+from repro.hw.scheduler import PolyProfile
+from repro.plan import gate_type_by_name, hyperplonk_plan
+from repro.workloads import WORKLOADS
+
+
+def golden_breakdown_total(model: ZkPhireModel, gate_type_name: str,
+                           num_vars: int) -> float:
+    """The pre-refactor composition, verbatim (inventory hard-coded)."""
+    gate_type = gate_type_by_name(gate_type_name)
+    n = 1 << num_vars
+    k = gate_type.num_witnesses
+
+    witness_msm = sum(model.msm.latency_s(n, sparse=True) for _ in range(k))
+    zc_profile = PolyProfile.from_gate(gate_by_id(gate_type.zerocheck_gate_id))
+    zerocheck = model.sumcheck.run(zc_profile, num_vars).latency_s
+    pq = model.permquot.run(n, k)
+    tree = model.forest.product_tree(n)
+    wiring_msm = (model.msm.latency_s(n, sparse=False)
+                  + model.msm.latency_s(2 * n, sparse=False))
+    permcheck = model.sumcheck.run(
+        PolyProfile.from_gate(gate_by_id(gate_type.permcheck_gate_id)),
+        num_vars).latency_s
+    claims = (len(gate_type.selector_names) + k + (2 * k + 1))
+    batch = model.forest.batch_eval(claims, n)
+    combine = model.mle_combine.run(n, streams=claims)
+    opencheck = model.sumcheck.run(opencheck_profile(), num_vars,
+                                   fuse_fr=False).latency_s
+    opening_msm = (model.msm.latency_s(n, sparse=False)
+                   + model.msm.latency_s(2 * n, sparse=False))
+
+    wire_msm_phase = max(pq.latency_s + tree.latency_s, wiring_msm)
+    wire_identity = wire_msm_phase + permcheck
+    batch_and_open = (batch.latency_s + combine.latency_s
+                      + max(opencheck, opening_msm))
+    serial = witness_msm + wire_identity + batch_and_open
+    if model.config.mask_zerocheck:
+        return serial + max(0.0, zerocheck - wire_msm_phase)
+    return serial + zerocheck
+
+
+def workload_shapes():
+    """Every (gate, μ) the workload catalog names."""
+    shapes = []
+    for w in WORKLOADS:
+        if w.vanilla_log2 is not None:
+            shapes.append(("vanilla", w.vanilla_log2))
+        if w.jellyfish_log2 is not None:
+            shapes.append(("jellyfish", w.jellyfish_log2))
+    return sorted(set(shapes))
+
+
+class TestZkPhireBitIdentical:
+    @pytest.mark.parametrize("masked", [True, False])
+    def test_all_workload_entries(self, masked):
+        cfg = AcceleratorConfig.exemplar()
+        if not masked:
+            cfg = AcceleratorConfig(sumcheck=cfg.sumcheck, msm=cfg.msm,
+                                    forest=cfg.forest,
+                                    bandwidth_gbps=cfg.bandwidth_gbps,
+                                    mask_zerocheck=False)
+        model = ZkPhireModel(cfg)
+        for gate, mu in workload_shapes():
+            golden = golden_breakdown_total(model, gate, mu)
+            assert model.prove_latency_s(gate, mu) == golden, (gate, mu)
+
+    def test_price_equals_breakdown(self):
+        model = ZkPhireModel(AcceleratorConfig.exemplar())
+        for gate, mu in [("vanilla", 17), ("jellyfish", 24)]:
+            plan = hyperplonk_plan(gate, mu)
+            assert model.price(plan).total == model.breakdown(gate, mu).total
+
+    def test_breakdown_fields_identical(self):
+        """Not just the total: every per-phase latency field."""
+        model = ZkPhireModel(AcceleratorConfig.exemplar())
+        bd = model.breakdown("jellyfish", 24)
+        n, k = 1 << 24, 5
+        assert bd.witness_msm == sum(
+            model.msm.latency_s(n, sparse=True) for _ in range(k))
+        assert bd.wiring_msm == (model.msm.latency_s(n, sparse=False)
+                                 + model.msm.latency_s(2 * n, sparse=False))
+        assert bd.opening_msm == bd.wiring_msm
+        assert bd.permquot == model.permquot.run(n, k).latency_s
+        assert bd.prod_tree == model.forest.product_tree(n).latency_s
+        assert bd.batch_evals == model.forest.batch_eval(29, n).latency_s
+
+
+class TestCpuBitIdentical:
+    def test_phase_breakdown_exact(self):
+        """Figure 12a's measured-share split is untouched by the
+        refactor: fractions × total, exactly."""
+        cpu = CpuModel(threads=32)
+        for w in WORKLOADS:
+            for total in (w.cpu_vanilla_s, w.cpu_jellyfish_s):
+                if total is None:
+                    continue
+                split = cpu.phase_breakdown(total)
+                assert split == {k: v * total
+                                 for k, v in CPU_PHASE_FRACTIONS.items()}
+
+    def test_sumcheck_seconds_exact(self):
+        """The calibrated SumCheck path still computes muls × ns."""
+        cpu = CpuModel(threads=4)
+        for gate, mu in workload_shapes():
+            gt = gate_type_by_name(gate)
+            poly = PolyProfile.from_gate(gate_by_id(gt.zerocheck_gate_id))
+            expected = sumcheck_modmuls(poly, mu) * 11.5 * 1e-9
+            assert cpu.sumcheck_seconds(poly, mu) == expected, (gate, mu)

@@ -20,11 +20,13 @@ from repro.hyperplonk import (
     preprocess,
 )
 from repro.service import (
+    JobCostModel,
     ProofJob,
     ProvingService,
     RequestClass,
     ServiceConfig,
     TrafficGenerator,
+    order_jobs,
     plan_batches,
     synthesize_circuit,
 )
@@ -152,6 +154,22 @@ class TestSchedulingAndBatching:
         batches = plan_batches(jobs, max_batch_size=2)
         assert [len(b) for b in batches] == [2, 2, 1]
 
+    def test_max_batch_size_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="must be >= 1"):
+            plan_batches([], max_batch_size=0)
+        with pytest.raises(ValueError, match="must be >= 1"):
+            plan_batches([], max_batch_size=-3)
+
+    def test_max_batch_size_rejects_non_int(self):
+        """Floats used to slip through and silently misbehave in range
+        slicing; the type is now validated (ISSUE 3 satellite)."""
+        with pytest.raises(TypeError, match="must be an int or None"):
+            plan_batches([], max_batch_size=2.0)
+        with pytest.raises(TypeError, match="must be an int or None"):
+            plan_batches([], max_batch_size=True)
+        with pytest.raises(TypeError, match="must be an int or None"):
+            plan_batches([], max_batch_size="4")
+
     def test_drain_runs_realtime_first(self):
         cfg = ServiceConfig(max_vars=MAX_VARS, default_backend="fused",
                             fixed_base_msm=False)
@@ -166,6 +184,147 @@ class TestSchedulingAndBatching:
             results = svc.drain()
         assert [r.job_id for r in results] == [j1.job_id, j0.job_id]
         assert all(r.batch_size == 1 for r in results)
+
+
+class TestCostAwareScheduling:
+    """ISSUE 3: plan-cost-driven drain policies (sjf / deadline)."""
+
+    def _job(self, jid, circuit, request_class, arrival=0.0, deadline=None):
+        return ProofJob(job_id=jid, circuit=circuit,
+                        request_class=request_class, arrival_s=arrival,
+                        deadline_s=deadline)
+
+    def _shapes(self):
+        return {
+            mu: synthesize_circuit(GATE_TYPES["vanilla"], mu, witness_seed=1)
+            for mu in (2, 3, 4)
+        }
+
+    def test_order_jobs_validation(self):
+        with pytest.raises(ValueError, match="unknown drain policy"):
+            order_jobs([], policy="lifo")
+        with pytest.raises(ValueError, match="needs a cost_fn"):
+            order_jobs([], policy="sjf")
+        with pytest.raises(ValueError, match="needs a cost_fn"):
+            order_jobs([], policy="deadline")
+
+    def test_sjf_orders_cheap_first_within_class(self):
+        shapes = self._shapes()
+        rt, df = RequestClass.REALTIME, RequestClass.DEFERRABLE
+        jobs = [
+            self._job(0, shapes[4], rt, arrival=0.0),   # big, arrives first
+            self._job(1, shapes[2], rt, arrival=1.0),   # small
+            self._job(2, shapes[3], rt, arrival=2.0),   # medium
+            self._job(3, shapes[2], df, arrival=0.5),   # small, deferrable
+        ]
+        cost = JobCostModel()
+        ordered = order_jobs(jobs, policy="sjf", cost_fn=cost)
+        # realtime cheap->expensive, deferrable after everything realtime
+        assert [j.job_id for j in ordered] == [1, 2, 0, 3]
+        # fifo would have drained the expensive early arrival first
+        fifo = order_jobs(jobs, policy="fifo")
+        assert [j.job_id for j in fifo] == [0, 1, 2, 3]
+
+    def test_deadline_policy_edf_for_realtime(self):
+        shapes = self._shapes()
+        rt, df = RequestClass.REALTIME, RequestClass.DEFERRABLE
+        jobs = [
+            self._job(0, shapes[2], rt, arrival=0.0, deadline=9.0),
+            self._job(1, shapes[4], rt, arrival=1.0, deadline=2.0),
+            self._job(2, shapes[3], rt, arrival=2.0),           # no deadline
+            self._job(3, shapes[4], df, arrival=0.0),
+            self._job(4, shapes[2], df, arrival=3.0),
+        ]
+        ordered = order_jobs(jobs, policy="deadline", cost_fn=JobCostModel())
+        # urgent first, deadline-less realtime last among realtime;
+        # deferrable tail is shortest-job-first
+        assert [j.job_id for j in ordered] == [1, 0, 2, 4, 3]
+
+    def test_deadline_outranks_priority_for_realtime(self):
+        """EDF proper: an imminent deadline drains before a
+        higher-priority job with a distant one."""
+        shapes = self._shapes()
+        rt = RequestClass.REALTIME
+        lazy_vip = ProofJob(job_id=0, circuit=shapes[2], request_class=rt,
+                            priority=5, deadline_s=100.0)
+        urgent = ProofJob(job_id=1, circuit=shapes[2], request_class=rt,
+                          priority=0, deadline_s=0.1)
+        ordered = order_jobs([lazy_vip, urgent], policy="deadline",
+                             cost_fn=JobCostModel())
+        assert [j.job_id for j in ordered] == [1, 0]
+
+    def test_job_cost_model_stamps_and_caches(self):
+        shapes = self._shapes()
+        job_a = self._job(0, shapes[3], RequestClass.REALTIME)
+        job_b = self._job(1, shapes[3], RequestClass.REALTIME)
+        cost = JobCostModel()
+        assert cost(job_a) == cost(job_b) > 0
+        assert job_a.predicted_cost_s == job_b.predicted_cost_s
+
+    def test_batch_predicted_cost(self):
+        shapes = self._shapes()
+        jobs = [self._job(i, shapes[2], RequestClass.REALTIME)
+                for i in range(3)]
+        (batch,) = plan_batches(jobs, policy="sjf", cost_fn=JobCostModel())
+        assert batch.predicted_cost_s == pytest.approx(
+            3 * jobs[0].predicted_cost_s)
+        fresh = plan_batches([self._job(9, shapes[2],
+                                        RequestClass.REALTIME)])[0]
+        assert fresh.predicted_cost_s is None  # no cost model ran
+
+    def test_service_sjf_end_to_end_with_prediction_metrics(self):
+        shapes = self._shapes()
+        cfg = ServiceConfig(max_vars=4, default_backend="fused",
+                            drain_policy="sjf", fixed_base_msm=False)
+        with ProvingService(cfg) as svc:
+            big = svc.submit(shapes[4])
+            small = svc.submit(shapes[2])
+            results = svc.drain()
+            summary = svc.summary()
+        assert [r.job_id for r in results] == [small.job_id, big.job_id]
+        assert all(r.predicted_s is not None and r.predicted_s > 0
+                   for r in results)
+        assert summary["drain_policy"] == "sjf"
+        assert summary["prediction"]["jobs"] == 2
+        assert summary["prediction"]["predicted_total_s"] > 0
+        cap = summary["estimated_capacity_proofs_per_s"]
+        assert cap["actual"] > 0 and cap["predicted"] > 0
+
+    def test_fifo_without_cost_model_has_no_prediction(self):
+        c = synthesize_circuit(GATE_TYPES["vanilla"], 2)
+        with ProvingService(ServiceConfig(max_vars=2,
+                                          fixed_base_msm=False)) as svc:
+            svc.submit(c)
+            (result,) = svc.drain()
+            summary = svc.summary()
+        assert result.predicted_s is None
+        assert "prediction" not in summary
+
+    def test_predict_costs_flag_without_reordering(self):
+        c = synthesize_circuit(GATE_TYPES["vanilla"], 2)
+        cfg = ServiceConfig(max_vars=2, predict_costs=True,
+                            fixed_base_msm=False)
+        with ProvingService(cfg) as svc:
+            svc.submit(c)
+            (result,) = svc.drain()
+            summary = svc.summary()
+        assert summary["drain_policy"] == "fifo"
+        assert result.predicted_s is not None
+        assert "prediction" in summary
+
+    def test_config_rejects_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown drain policy"):
+            ProvingService(ServiceConfig(drain_policy="edf2"))
+
+    def test_traffic_generator_stamps_deadlines(self):
+        jobs = TrafficGenerator("zipf-mixed", seed=3).jobs(12)
+        scenario = scenario_by_name("zipf-mixed")
+        for job in jobs:
+            if job.request_class is RequestClass.REALTIME:
+                assert job.deadline_s == pytest.approx(
+                    job.arrival_s + scenario.realtime_deadline_s)
+            else:
+                assert job.deadline_s is None
 
 
 class TestTrafficGenerator:
