@@ -11,7 +11,6 @@ contribution, mirroring claims made in the paper's §III-IV:
 * the batched modular-inverse redesign (§IV-B5: 4.2x area reduction).
 """
 
-import pytest
 
 from repro.gates import gate_by_id
 from repro.hw import tech

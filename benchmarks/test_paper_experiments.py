@@ -6,7 +6,6 @@ the paper's qualitative claims (who wins, approximate factors,
 crossovers) — see EXPERIMENTS.md for the full paper-vs-measured record.
 """
 
-import pytest
 
 from repro.experiments import (  # noqa: F401 (imported for names)
     common,

@@ -22,6 +22,13 @@ three coupled layers:
   :class:`~repro.service.TrafficGenerator` over the scenarios in
   ``repro.workloads`` (DESIGN.md §5, ``BENCH_service.json``,
   ``BENCH_scheduler.json``);
+* a **sharded proving cluster** (``repro.cluster``) — a simulated
+  multi-node fleet above the service:
+  :class:`~repro.cluster.ProvingCluster` routes job streams over N
+  prover nodes under ``round_robin`` / ``least_loaded`` / ``affinity``
+  policies, with consistent hashing on the circuit fingerprint keeping
+  same-circuit traffic (and its index-cache wins) on one node
+  (DESIGN.md §7, ``BENCH_cluster.json``);
 * a **hardware performance model** (``repro.hw``, ``repro.workloads``,
   ``repro.experiments``) — analytical models of every zkPHIRE module,
   calibrated baselines, and the design-space exploration that regenerates
@@ -32,8 +39,7 @@ field-vector backend layer behind the fast-path SumCheck prover) and
 BENCH_sumcheck.json for the recorded fast-path perf trajectory.
 """
 
-__version__ = "0.1.0"
-
+from repro.cluster import ClusterConfig, ProvingCluster
 from repro.fields import Fq, Fr
 from repro.plan import FunctionalProverCostModel, ProofPlan, hyperplonk_plan
 from repro.service import (
@@ -46,7 +52,10 @@ from repro.service import (
     TrafficGenerator,
 )
 
+__version__ = "0.1.0"
+
 __all__ = [
+    "ClusterConfig",
     "Fr",
     "Fq",
     "FunctionalProverCostModel",
@@ -55,6 +64,7 @@ __all__ = [
     "ProofJob",
     "ProofResult",
     "ProofPlan",
+    "ProvingCluster",
     "ProvingService",
     "ServiceConfig",
     "TrafficGenerator",

@@ -1,0 +1,62 @@
+"""Shared argparse helpers for the ``repro-*`` console scripts.
+
+Bad values must exit with argparse's status 2 and a one-line message,
+never a traceback — CI's entry-point smoke step locks this down for
+``repro-serve`` and ``repro-cluster`` alike.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+
+def positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"{value} is not >= 1")
+    return value
+
+
+def nonnegative_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    # NaN slips past a plain `value < 0` check and infinities make the
+    # wave bucketing divide by them; both must exit 2, never traceback
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a finite number >= 0")
+    return value
+
+
+def cache_capacity(text: str) -> int | None:
+    """LRU cache capacity: a positive entry count, or 0 for unbounded.
+
+    Shared by ``repro-serve`` and ``repro-cluster`` so the flag means
+    the same thing on both CLIs.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"{value} is not >= 0")
+    return None if value == 0 else value
+
+
+def int_list(text: str) -> list[int]:
+    """Comma-separated positive ints (``"1,2,4"``), deduplicated."""
+    out: list[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if part:
+            value = positive_int(part)
+            if value not in out:
+                out.append(value)
+    if not out:
+        raise argparse.ArgumentTypeError(f"{text!r} names no counts")
+    return out

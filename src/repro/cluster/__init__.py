@@ -1,0 +1,62 @@
+"""A sharded multi-node proving simulation (fleet layer).
+
+One :class:`~repro.service.ProvingService` is a node; this package is
+the fleet above it (DESIGN.md §7).  The pipeline is **route → shard →
+drain**:
+
+* :mod:`repro.cluster.routing` — :class:`ClusterRouter` over
+  ``round_robin`` / ``least_loaded`` / ``affinity`` policies, with a
+  SHA-256 :class:`HashRing` so fingerprint placement is deterministic
+  across processes and node churn moves only ~K/N keys;
+* :mod:`repro.cluster.nodes` — :class:`ProverNode`: a bounded
+  :class:`SimIndexCache`, a model-time clock, and (in execute mode) a
+  private real proving service per node;
+* :mod:`repro.cluster.timemodel` — :class:`FleetTimeModel`: plan-priced
+  prove seconds plus host-side index-install seconds on cache misses;
+* :mod:`repro.cluster.metrics` — :func:`cluster_summary`: makespan,
+  throughput, load imbalance, install share, cache locality, shape
+  spread;
+* :mod:`repro.cluster.core` — :class:`ProvingCluster` tying it together.
+
+Demo CLI: ``python -m repro.cluster --scenario zipf-mixed --nodes 1,2,4``
+(also installed as ``repro-cluster``); see
+``benchmarks/test_cluster_scaling.py`` (``BENCH_cluster.json``).
+"""
+
+from repro.cluster.core import ClusterConfig, ProvingCluster
+from repro.cluster.metrics import cluster_summary, load_imbalance, shape_spread
+from repro.cluster.nodes import (
+    DEFAULT_NODE_CACHE_CAPACITY,
+    JobRecord,
+    NodeConfig,
+    ProverNode,
+    SimIndexCache,
+)
+from repro.cluster.routing import (
+    DEFAULT_REPLICAS,
+    ROUTING_POLICIES,
+    ClusterRouter,
+    HashRing,
+    stable_hash,
+)
+from repro.cluster.timemodel import TIME_MODEL_PRESETS, FleetTimeModel
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterRouter",
+    "DEFAULT_NODE_CACHE_CAPACITY",
+    "DEFAULT_REPLICAS",
+    "FleetTimeModel",
+    "HashRing",
+    "JobRecord",
+    "NodeConfig",
+    "ProverNode",
+    "ProvingCluster",
+    "ROUTING_POLICIES",
+    "SimIndexCache",
+    "TIME_MODEL_PRESETS",
+    "cluster_summary",
+    "load_imbalance",
+    "shape_spread",
+    "stable_hash",
+]

@@ -1,0 +1,199 @@
+"""Cluster sweep CLI: ``python -m repro.cluster`` / ``repro-cluster``.
+
+Replays one :mod:`repro.workloads` traffic scenario over a node-count
+sweep for each requested routing policy and prints one line per
+(nodes, policy) cell: model throughput, makespan, load imbalance,
+install share, cache hit rate, and shape spread.  Same seed → same job
+stream in every cell, so the cells are directly comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.cli import cache_capacity, int_list, nonnegative_float, positive_int
+from repro.cluster.core import ClusterConfig, ProvingCluster
+from repro.cluster.nodes import DEFAULT_NODE_CACHE_CAPACITY, NodeConfig
+from repro.cluster.routing import DEFAULT_REPLICAS, ROUTING_POLICIES
+from repro.cluster.timemodel import TIME_MODEL_PRESETS
+from repro.service.traffic import TrafficGenerator
+from repro.workloads import SCENARIOS
+
+
+def policy_list(text: str) -> list[str]:
+    out: list[str] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if part not in ROUTING_POLICIES:
+            raise argparse.ArgumentTypeError(
+                f"unknown policy {part!r}; choose from "
+                + ", ".join(ROUTING_POLICIES)
+            )
+        if part not in out:
+            out.append(part)
+    if not out:
+        raise argparse.ArgumentTypeError(f"{text!r} names no policies")
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description=(
+            "Replay a proof-request traffic scenario over a simulated "
+            "multi-node proving cluster, sweeping node counts and "
+            "routing policies."
+        ),
+    )
+    parser.add_argument(
+        "--scenario",
+        default="zipf-mixed",
+        choices=sorted(SCENARIOS),
+        help="named traffic mix (repro.workloads)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=64,
+        help="number of proof requests to generate",
+    )
+    parser.add_argument(
+        "--nodes",
+        type=int_list,
+        default=[1, 2, 4],
+        help="comma-separated node counts to sweep (e.g. 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--policies",
+        type=policy_list,
+        default=list(ROUTING_POLICIES),
+        help=f"comma-separated routing policies ({', '.join(ROUTING_POLICIES)})",
+    )
+    parser.add_argument(
+        "--time-model",
+        default="accelerator",
+        choices=TIME_MODEL_PRESETS,
+        help="fleet time model: accelerator-resident proving with "
+        "host-side index installs, or all-functional CPU replay",
+    )
+    parser.add_argument(
+        "--cache-capacity",
+        type=cache_capacity,
+        default=DEFAULT_NODE_CACHE_CAPACITY,
+        help="LRU entries in each node's index cache (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--replicas",
+        type=positive_int,
+        default=DEFAULT_REPLICAS,
+        help="virtual points per node on the affinity hash ring",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="traffic-generator seed (same seed = same job stream)",
+    )
+    parser.add_argument(
+        "--wave-s",
+        type=nonnegative_float,
+        default=1.0,
+        help="execute-mode drain-wave window in model seconds (0 = single wave)",
+    )
+    parser.add_argument(
+        "--execute",
+        action="store_true",
+        help="really prove on every node (slow; adds measured stats)",
+    )
+    parser.add_argument(
+        "--respect-arrivals",
+        action="store_true",
+        help="let node clocks idle until each job's model-time arrival "
+        "instead of running saturated",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw summary rows as JSON",
+    )
+    return parser
+
+
+def run_cell(args, num_nodes: int, policy: str) -> dict:
+    generator = TrafficGenerator(args.scenario, seed=args.seed)
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        policy=policy,
+        time_model=args.time_model,
+        execute=args.execute,
+        respect_arrivals=args.respect_arrivals,
+        replicas=args.replicas,
+        node=NodeConfig(
+            cache_capacity=args.cache_capacity,
+            max_vars=generator.max_vars(),
+            wave_s=args.wave_s or None,
+        ),
+    )
+    with ProvingCluster(config) as cluster:
+        cluster.run(generator.jobs(args.jobs))
+        return cluster.summary()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rows = [
+        run_cell(args, num_nodes, policy)
+        for num_nodes in sorted(args.nodes)
+        for policy in args.policies
+    ]
+    if args.json:
+        print(json.dumps({"scenario": args.scenario, "rows": rows}, indent=2))
+        return 0
+
+    scenario = SCENARIOS[args.scenario]
+    print(
+        f"scenario   : {args.scenario} ({scenario.description})\n"
+        f"time model : {args.time_model}   jobs: {args.jobs}   "
+        f"seed: {args.seed}   node cache: "
+        f"{args.cache_capacity or 'unbounded'}"
+    )
+    header = (
+        f"{'nodes':>5}  {'policy':<12} {'jobs/s':>9} {'makespan':>9} "
+        f"{'imbalance':>9} {'install%':>8} {'hit-rate':>8} {'spread':>6} "
+        f"{'p95':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        model = row["model"]
+        cache = row["cache"]["sim"]
+        print(
+            f"{row['nodes']:>5}  {row['policy']:<12} "
+            f"{model['throughput_jobs_per_s']:>9.2f} "
+            f"{model['makespan_s']:>8.3f}s "
+            f"{model['load_imbalance']:>9.2f} "
+            f"{model['install_share'] * 100:>7.1f}% "
+            f"{cache['hit_rate']:>8.2f} "
+            f"{row['routing']['shape_spread']:>6.2f} "
+            f"{model['latency_s']['p95']:>8.3f}s"
+        )
+    if args.execute:
+        print("\nmeasured (execute mode): real per-node caches + prove times")
+        for row in rows:
+            real = row["cache"].get("real", {})
+            measured = row.get("measured", {})
+            print(
+                f"{row['nodes']:>5}  {row['policy']:<12} "
+                f"real hit-rate {real.get('hit_rate', 0.0):.2f}  "
+                f"preprocess {real.get('preprocess_s', 0.0):.3f}s  "
+                f"measured makespan {measured.get('makespan_s', 0.0):.3f}s"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,174 @@
+"""The simulated multi-node proving cluster (route → shard → drain).
+
+:class:`ProvingCluster` shards a :class:`~repro.service.jobs.ProofJob`
+stream over N :class:`~repro.cluster.nodes.ProverNode`\\ s through a
+:class:`~repro.cluster.routing.ClusterRouter`.  Model time comes from a
+:class:`~repro.cluster.timemodel.FleetTimeModel`; with
+``config.execute`` the nodes additionally prove for real through their
+private :class:`~repro.service.ProvingService` stacks, so cache hit
+rates and preprocess seconds in the summary are measured, not modelled.
+
+Nodes can be added or removed between drains; the affinity policy's
+consistent-hash ring then moves only the ~K/N fingerprints that land on
+the changed node, so warm caches elsewhere survive rebalancing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+
+from repro.cluster.metrics import cluster_summary
+from repro.cluster.nodes import JobRecord, NodeConfig, ProverNode
+from repro.cluster.routing import DEFAULT_REPLICAS, ClusterRouter
+from repro.cluster.timemodel import FleetTimeModel
+from repro.service.jobs import ProofJob, ProofResult
+
+
+@dataclass
+class ClusterConfig:
+    """Knobs for one :class:`ProvingCluster`."""
+
+    num_nodes: int = 4
+    #: ``round_robin`` | ``least_loaded`` | ``affinity``
+    policy: str = "affinity"
+    #: :data:`~repro.cluster.timemodel.TIME_MODEL_PRESETS` preset name
+    time_model: str = "accelerator"
+    #: shared per-node configuration
+    node: NodeConfig = dc_field(default_factory=NodeConfig)
+    #: prove for real through per-node services (slower, measured)
+    execute: bool = False
+    #: make node clocks wait for model-time arrivals instead of running
+    #: saturated (throughput numbers then measure offered load)
+    respect_arrivals: bool = False
+    #: virtual points per node on the affinity hash ring
+    replicas: int = DEFAULT_REPLICAS
+
+
+class ProvingCluster:
+    """A router plus N prover nodes; see the module docstring."""
+
+    def __init__(
+        self,
+        config: ClusterConfig | None = None,
+        *,
+        time_model: FleetTimeModel | None = None,
+    ):
+        self.config = config = config or ClusterConfig()
+        if config.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if time_model is None:
+            time_model = FleetTimeModel.preset(config.time_model)
+        self.time_model = time_model
+        self.nodes: dict[str, ProverNode] = {}
+        self._retired: list[ProverNode] = []
+        self._next_node = 0
+        self._next_id = 0
+        node_ids = [self._new_node_id() for _ in range(config.num_nodes)]
+        for node_id in node_ids:
+            self.nodes[node_id] = self._make_node(node_id)
+        self.router = ClusterRouter(
+            config.policy,
+            node_ids,
+            cost_model=time_model.prove_model,
+            replicas=config.replicas,
+        )
+        self.records: list[JobRecord] = []
+
+    def _new_node_id(self) -> str:
+        node_id = f"node-{self._next_node}"
+        self._next_node += 1
+        return node_id
+
+    def _make_node(self, node_id: str) -> ProverNode:
+        return ProverNode(
+            node_id,
+            self.config.node,
+            self.time_model,
+            execute=self.config.execute,
+        )
+
+    # -- membership ---------------------------------------------------------
+    def add_node(self) -> str:
+        """Join a fresh node; affinity moves ~K/N fingerprints to it."""
+        node_id = self._new_node_id()
+        self.router.add_node(node_id)
+        self.nodes[node_id] = self._make_node(node_id)
+        return node_id
+
+    def remove_node(self, node_id: str) -> None:
+        """Retire ``node_id`` (its drained history stays in summaries)."""
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise KeyError(f"unknown node {node_id!r}")
+        if node.pending:
+            raise ValueError(
+                f"node {node_id!r} still has {node.pending} pending jobs; "
+                "drain before removing it"
+            )
+        self.router.remove_node(node_id)
+        node.close()
+        self._retired.append(self.nodes.pop(node_id))
+
+    # -- submission / draining ----------------------------------------------
+    def submit(self, job: ProofJob) -> str:
+        """Route one job; returns the chosen node id."""
+        max_vars = self.config.node.max_vars
+        if job.circuit.num_vars > max_vars:
+            raise ValueError(
+                f"circuit μ={job.circuit.num_vars} exceeds the cluster's "
+                f"node SRS (max μ={max_vars})"
+            )
+        job.job_id = self._next_id
+        self._next_id += 1
+        node_id = self.router.assign(job)
+        self.nodes[node_id].submit(job)
+        return node_id
+
+    def drain(self) -> list[JobRecord]:
+        """Drain every node; returns this wave's records in finish order."""
+        drained: list[JobRecord] = []
+        respect = self.config.respect_arrivals
+        for node_id in sorted(self.nodes):
+            node = self.nodes[node_id]
+            drained.extend(node.drain(respect_arrivals=respect))
+            self.router.release(node_id)
+        drained.sort(key=lambda r: (r.finish_s, r.job_id))
+        self.records.extend(drained)
+        return drained
+
+    def run(self, jobs: list[ProofJob]) -> list[JobRecord]:
+        """Submit and drain a whole job stream."""
+        for job in jobs:
+            self.submit(job)
+        return self.drain()
+
+    # -- reporting / lifecycle ----------------------------------------------
+    @property
+    def results(self) -> list[ProofResult]:
+        """Execute-mode proof results across all nodes (drain order)."""
+        out: list[ProofResult] = []
+        for node in self._all_nodes():
+            out.extend(node.results)
+        return out
+
+    def _all_nodes(self) -> list[ProverNode]:
+        active = [self.nodes[node_id] for node_id in sorted(self.nodes)]
+        return self._retired + active
+
+    def summary(self) -> dict:
+        return cluster_summary(
+            self._all_nodes(),
+            self.records,
+            policy=self.config.policy,
+            time_model=self.time_model.name,
+        )
+
+    def close(self) -> None:
+        for node in self._all_nodes():
+            node.close()
+
+    def __enter__(self) -> "ProvingCluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

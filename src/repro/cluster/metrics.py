@@ -1,0 +1,125 @@
+"""Fleet-level measurement: makespan, imbalance, cache locality.
+
+:func:`cluster_summary` renders one dict per cluster run, with three
+sections:
+
+* ``model`` — model-time results: makespan (latest node finish),
+  throughput, fleet p50/p95/max latency, per-node busy seconds and
+  utilization, load imbalance (max/mean busy), and the install share —
+  the fraction of fleet busy time spent (re)building circuit indexes,
+  which is exactly what affinity routing exists to shrink;
+* ``cache`` — aggregate hit/miss/eviction stats over every node's
+  simulated cache, plus the real per-node ``IndexCache`` stats when the
+  cluster executed proofs;
+* ``routing`` — jobs and distinct circuit shapes per node, and the
+  *shape spread*: the mean number of nodes that saw each circuit
+  structure (1.0 = perfect affinity, ≈N = every shape installed
+  everywhere).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.nodes import JobRecord, ProverNode
+from repro.service.cache import CacheStats
+from repro.service.metrics import percentile
+
+
+def _aggregate_stats(stats: list[CacheStats]) -> dict:
+    total = CacheStats()
+    for s in stats:
+        total.hits += s.hits
+        total.misses += s.misses
+        total.evictions += s.evictions
+        total.preprocess_s += s.preprocess_s
+    return total.as_dict()
+
+
+def load_imbalance(busy: list[float]) -> float:
+    """Max node busy time over mean (1.0 = perfectly balanced)."""
+    if not busy or sum(busy) == 0.0:
+        return 1.0
+    return max(busy) / (sum(busy) / len(busy))
+
+
+def shape_spread(nodes: list[ProverNode]) -> float:
+    """Mean number of nodes each circuit structure was routed to."""
+    shapes: set[str] = set()
+    for node in nodes:
+        shapes |= node.shapes_seen
+    if not shapes:
+        return 0.0
+    placements = sum(len(node.shapes_seen) for node in nodes)
+    return placements / len(shapes)
+
+
+def cluster_summary(
+    nodes: list[ProverNode],
+    records: list[JobRecord],
+    *,
+    policy: str,
+    time_model: str,
+) -> dict:
+    """One summary dict over a finished cluster run."""
+    makespan = max((r.finish_s for r in records), default=0.0)
+    busy = [node.busy_s for node in nodes]
+    latencies = [r.latency_s for r in records]
+    install_s = sum(r.install_model_s for r in records)
+    prove_s = sum(r.prove_model_s for r in records)
+    total_busy = install_s + prove_s
+    doc = {
+        "policy": policy,
+        "time_model": time_model,
+        "nodes": len(nodes),
+        "jobs": len(records),
+        "model": {
+            "makespan_s": round(makespan, 6),
+            "throughput_jobs_per_s": (
+                round(len(records) / makespan, 3) if makespan > 0 else 0.0
+            ),
+            "latency_s": {
+                "p50": round(percentile(latencies, 50), 6),
+                "p95": round(percentile(latencies, 95), 6),
+                "max": round(max(latencies), 6) if latencies else 0.0,
+            },
+            "busy_s": {n.node_id: round(n.busy_s, 6) for n in nodes},
+            "utilization": {
+                node.node_id: (
+                    round(node.busy_s / makespan, 4) if makespan > 0 else 0.0
+                )
+                for node in nodes
+            },
+            "load_imbalance": round(load_imbalance(busy), 4),
+            "install_s": round(install_s, 6),
+            "prove_s": round(prove_s, 6),
+            "install_share": (
+                round(install_s / total_busy, 4) if total_busy > 0 else 0.0
+            ),
+        },
+        "cache": {
+            "sim": _aggregate_stats([node.sim_cache.stats for node in nodes]),
+        },
+        "routing": {
+            "jobs_per_node": {n.node_id: n.jobs_done for n in nodes},
+            "shapes_per_node": {n.node_id: len(n.shapes_seen) for n in nodes},
+            "shape_spread": round(shape_spread(nodes), 4),
+        },
+    }
+    real_stats = [
+        node.real_cache_stats
+        for node in nodes
+        if node.real_cache_stats is not None
+    ]
+    if real_stats:
+        doc["cache"]["real"] = _aggregate_stats(real_stats)
+        measured = {n.node_id: round(n.measured_busy_s, 6) for n in nodes}
+        measured_makespan = max(measured.values(), default=0.0)
+        doc["measured"] = {
+            "busy_s": measured,
+            "makespan_s": round(measured_makespan, 6),
+            "throughput_jobs_per_s": (
+                round(len(records) / measured_makespan, 3)
+                if measured_makespan > 0
+                else 0.0
+            ),
+        }
+    return doc

@@ -1,0 +1,233 @@
+"""One prover node: a bounded index cache, a model clock, a service.
+
+A :class:`ProverNode` is the sharding unit of the simulated fleet.  It
+always runs the *simulated* layer — an LRU fingerprint cache
+(:class:`SimIndexCache`) plus a model-time clock advanced by the
+cluster's :class:`~repro.cluster.timemodel.FleetTimeModel` — and, when
+the cluster runs in ``execute`` mode, additionally drains its jobs
+through a private :class:`~repro.service.ProvingService` (own SRS, own
+:class:`~repro.service.cache.IndexCache`, own worker pool) so the
+proofs, cache hits, and preprocess seconds it reports are real.
+
+Every node builds its SRS from the same seed, so a proof is bit-identical
+no matter which node produced it — routing policy changes *when and
+where* work happens, never the bytes; ``tests/test_cluster.py`` locks
+this down.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.cluster.timemodel import FleetTimeModel
+from repro.service.cache import CacheStats
+from repro.service.core import ProvingService, ServiceConfig
+from repro.service.jobs import ProofJob, ProofResult
+
+#: default LRU entries in a node's (bounded) local index cache
+DEFAULT_NODE_CACHE_CAPACITY = 4
+
+
+class SimIndexCache:
+    """LRU of circuit fingerprints with the service's cache statistics.
+
+    Models which indexes a node currently holds without preprocessing
+    anything; the execute path's real :class:`IndexCache` runs the same
+    capacity so measured hit rates track simulated ones.
+    """
+
+    def __init__(self, capacity: int | None = DEFAULT_NODE_CACHE_CAPACITY):
+        if capacity is not None and capacity < 1:
+            raise ValueError("cache capacity must be >= 1 (or None)")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._keys: OrderedDict[str, None] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def lookup(self, key: str) -> bool:
+        """Touch ``key``; True on hit, False on miss (key now cached)."""
+        if key in self._keys:
+            self._keys.move_to_end(key)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        self._keys[key] = None
+        if self.capacity is not None:
+            while len(self._keys) > self.capacity:
+                self._keys.popitem(last=False)
+                self.stats.evictions += 1
+        return False
+
+
+@dataclass
+class NodeConfig:
+    """Per-node knobs shared by every node of one cluster."""
+
+    #: LRU entries in the node-local index cache (None = unbounded)
+    cache_capacity: int | None = DEFAULT_NODE_CACHE_CAPACITY
+    #: largest circuit μ the node accepts
+    max_vars: int = 6
+    #: one seed for every node: identical SRS, bit-identical proofs
+    srs_seed: int = 0x5EED
+    #: field-vector backend for execute-mode proving
+    default_backend: str | None = "fused"
+    #: execute-mode executor / workers per node
+    executor: str = "sync"
+    num_workers: int = 1
+    #: execute-mode drain-wave window in model seconds (None = one wave)
+    wave_s: float | None = 1.0
+    #: verify every execute-mode proof in-service
+    verify_proofs: bool = False
+
+
+@dataclass
+class JobRecord:
+    """Model-time bookkeeping for one routed job."""
+
+    job_id: int
+    tag: str
+    circuit_key: str
+    node_id: str
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    prove_model_s: float
+    install_model_s: float
+    cache_hit: bool
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+
+class ProverNode:
+    """One shard of the fleet; see the module docstring."""
+
+    def __init__(
+        self,
+        node_id: str,
+        config: NodeConfig,
+        time_model: FleetTimeModel,
+        *,
+        execute: bool = False,
+    ):
+        self.node_id = node_id
+        self.config = config
+        self.time_model = time_model
+        self.execute = execute
+        self.sim_cache = SimIndexCache(config.cache_capacity)
+        self.clock_s = 0.0
+        #: model seconds spent proving + installing (idle excluded)
+        self.busy_s = 0.0
+        self.jobs_done = 0
+        self.shapes_seen: set[str] = set()
+        self.records: list[JobRecord] = []
+        self.results: list[ProofResult] = []
+        self._pending: list[ProofJob] = []
+        self.service: ProvingService | None = None
+        if execute:
+            self.service = ProvingService(
+                ServiceConfig(
+                    max_vars=config.max_vars,
+                    srs_seed=config.srs_seed,
+                    executor=config.executor,
+                    num_workers=config.num_workers,
+                    cache_capacity=config.cache_capacity,
+                    default_backend=config.default_backend,
+                    verify_proofs=config.verify_proofs,
+                )
+            )
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def submit(self, job: ProofJob) -> None:
+        self._pending.append(job)
+        self.shapes_seen.add(job.circuit_key)
+
+    def drain(self, *, respect_arrivals: bool = False) -> list[JobRecord]:
+        """Process everything pending in arrival order.
+
+        Advances the model clock job by job: a sim-cache miss charges
+        the install cost before the prove cost.  With
+        ``respect_arrivals`` the clock waits for each job's model-time
+        arrival (idle gaps appear); without it the node runs saturated
+        and arrivals only order the queue.  In execute mode the same
+        jobs then run through the real per-node service.
+        """
+        jobs, self._pending = self._pending, []
+        if not jobs:
+            return []
+        jobs.sort(key=lambda j: (j.arrival_s, j.job_id))
+        drained: list[JobRecord] = []
+        for job in jobs:
+            arrival = job.arrival_s if respect_arrivals else 0.0
+            start = max(self.clock_s, arrival)
+            install = 0.0
+            hit = self.sim_cache.lookup(job.circuit_key)
+            if not hit:
+                install = self.time_model.install_s(job)
+            prove = self.time_model.prove_s(job)
+            self.clock_s = start + install + prove
+            self.busy_s += install + prove
+            self.jobs_done += 1
+            drained.append(
+                JobRecord(
+                    job_id=job.job_id,
+                    tag=job.tag,
+                    circuit_key=job.circuit_key,
+                    node_id=self.node_id,
+                    arrival_s=arrival,
+                    start_s=start,
+                    finish_s=self.clock_s,
+                    prove_model_s=prove,
+                    install_model_s=install,
+                    cache_hit=hit,
+                )
+            )
+        self.records.extend(drained)
+        if self.service is not None:
+            # the node's service re-ids jobs for its own queue; map the
+            # results back to cluster-wide ids so records and results of
+            # one job line up across the fleet
+            cluster_ids = {id(job): job.job_id for job in jobs}
+            results = self.service.run(jobs, wave_s=self.config.wave_s)
+            remap = {job.job_id: cluster_ids[id(job)] for job in jobs}
+            for result in results:
+                result.job_id = remap[result.job_id]
+            for job in jobs:  # leave caller-held jobs cluster-consistent
+                job.job_id = cluster_ids[id(job)]
+            self.results.extend(results)
+        return drained
+
+    # -- measured side (execute mode only) ----------------------------------
+    @property
+    def real_cache_stats(self) -> CacheStats | None:
+        if self.service is None:
+            return None
+        return self.service.cache.stats
+
+    @property
+    def measured_busy_s(self) -> float:
+        """Real seconds this node spent preprocessing + proving."""
+        if self.service is None:
+            return 0.0
+        prove = sum(r.prove_s for r in self.results)
+        return self.service.cache.stats.preprocess_s + prove
+
+    def close(self) -> None:
+        if self.service is not None:
+            self.service.close()
+
+    def __repr__(self):
+        return (
+            f"ProverNode({self.node_id!r}, jobs={self.jobs_done}, "
+            f"busy={self.busy_s:.4f}s)"
+        )

@@ -1,0 +1,209 @@
+"""Job-to-node routing: round-robin, least-loaded, fingerprint affinity.
+
+The router decides which :class:`~repro.cluster.nodes.ProverNode` gets
+each :class:`~repro.service.jobs.ProofJob`.  Three policies:
+
+* ``round_robin`` — cycle through nodes in id order, ignoring cost and
+  circuit structure.  The sharding baseline: even job counts, maximal
+  index duplication.
+* ``least_loaded`` — assign to the node with the smallest *predicted
+  outstanding cost*: the sum of plan-predicted prove seconds
+  (:class:`~repro.service.costing.JobCostModel`) of everything routed
+  there but not yet drained.  Greedy argmin keeps the imbalance bound
+  tight: no node's outstanding cost ever exceeds another's by more than
+  one job at assignment time.
+* ``affinity`` — consistent hashing on ``circuit_fingerprint`` via
+  :class:`HashRing`, so every job proving one circuit structure lands on
+  one node and the node's :class:`~repro.service.cache.IndexCache` (and
+  its fixed-base MSM reuse) survives sharding.
+
+:class:`HashRing` hashes with SHA-256, never Python's salted ``hash()``,
+so placements are identical across runs, interpreters, and machines —
+``tests/test_cluster_routing.py`` locks this across a process boundary.
+Adding or removing a node only moves the keys that land on it
+(~K/N of them), which is the whole point of hashing consistently.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable
+
+from repro.plan.cost import FunctionalProverCostModel, ShapeCostModel
+from repro.service.jobs import ProofJob
+
+#: routing policy names accepted by :class:`ClusterRouter`
+ROUTING_POLICIES = ("round_robin", "least_loaded", "affinity")
+
+#: virtual points per node on the hash ring; more replicas smooth the
+#: per-node share of key space at the cost of ring size
+DEFAULT_REPLICAS = 64
+
+
+def stable_hash(value: str) -> int:
+    """Process-stable 64-bit hash (SHA-256 prefix, never ``hash()``)."""
+    digest = hashlib.sha256(value.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over node ids with virtual replicas."""
+
+    def __init__(
+        self,
+        node_ids: Iterable[str] = (),
+        *,
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._nodes: set[str] = set()
+        #: sorted virtual points; parallel lists for bisect
+        self._point_hashes: list[int] = []
+        self._point_nodes: list[str] = []
+        for node_id in node_ids:
+            self.add_node(node_id)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    @property
+    def node_ids(self) -> list[str]:
+        return sorted(self._nodes)
+
+    def _points_for(self, node_id: str) -> list[int]:
+        return [stable_hash(f"{node_id}#{i}") for i in range(self.replicas)]
+
+    def add_node(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            raise ValueError(f"node {node_id!r} is already on the ring")
+        self._nodes.add(node_id)
+        for point in self._points_for(node_id):
+            index = bisect.bisect_left(self._point_hashes, point)
+            self._point_hashes.insert(index, point)
+            self._point_nodes.insert(index, node_id)
+
+    def remove_node(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            raise KeyError(f"node {node_id!r} is not on the ring")
+        self._nodes.discard(node_id)
+        keep = [
+            (point, node)
+            for point, node in zip(self._point_hashes, self._point_nodes)
+            if node != node_id
+        ]
+        self._point_hashes = [point for point, _ in keep]
+        self._point_nodes = [node for _, node in keep]
+
+    def node_for(self, key: str) -> str:
+        """The node owning ``key``: first ring point clockwise from it."""
+        if not self._nodes:
+            raise ValueError("the ring has no nodes")
+        index = bisect.bisect_right(self._point_hashes, stable_hash(key))
+        if index == len(self._point_hashes):
+            index = 0
+        return self._point_nodes[index]
+
+    def __repr__(self):
+        return f"HashRing(nodes={len(self._nodes)}, replicas={self.replicas})"
+
+
+class ClusterRouter:
+    """Assigns jobs to node ids under one of :data:`ROUTING_POLICIES`.
+
+    The router tracks predicted outstanding cost per node (fed by
+    :meth:`assign`, released by :meth:`release`) so ``least_loaded``
+    stays correct without reaching into node internals; the cluster
+    releases a node's cost when it drains.
+    """
+
+    def __init__(
+        self,
+        policy: str,
+        node_ids: Iterable[str],
+        *,
+        cost_model: ShapeCostModel | None = None,
+        replicas: int = DEFAULT_REPLICAS,
+    ):
+        if policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown routing policy {policy!r}; choose from {ROUTING_POLICIES}"
+            )
+        self.policy = policy
+        self._node_ids: list[str] = sorted(node_ids)
+        if not self._node_ids:
+            raise ValueError("a router needs at least one node")
+        self.ring = HashRing(self._node_ids, replicas=replicas)
+        self.cost_model = cost_model or FunctionalProverCostModel()
+        self.outstanding_s: dict[str, float] = {
+            node_id: 0.0 for node_id in self._node_ids
+        }
+        self._rr_next = 0
+
+    @property
+    def node_ids(self) -> list[str]:
+        return list(self._node_ids)
+
+    def add_node(self, node_id: str) -> None:
+        if node_id in self.outstanding_s:
+            raise ValueError(f"node {node_id!r} is already routed to")
+        self.ring.add_node(node_id)
+        self._node_ids = sorted(self._node_ids + [node_id])
+        self.outstanding_s[node_id] = 0.0
+        self._rr_next = 0
+
+    def remove_node(self, node_id: str) -> None:
+        if node_id not in self.outstanding_s:
+            raise KeyError(f"node {node_id!r} is not routed to")
+        if len(self._node_ids) == 1:
+            raise ValueError("cannot remove the last node")
+        self.ring.remove_node(node_id)
+        self._node_ids = [n for n in self._node_ids if n != node_id]
+        del self.outstanding_s[node_id]
+        self._rr_next = 0
+
+    def job_cost_s(self, job: ProofJob) -> float:
+        """Predicted prove seconds for routing bookkeeping only.
+
+        Never stamps ``job.predicted_cost_s`` — that field belongs to
+        the node's own service cost model, and a fleet-model stamp here
+        would corrupt the service's predicted-vs-actual metrics.
+        """
+        circuit = job.circuit
+        return self.cost_model.shape_cost_s(circuit.gate_type.name, circuit.num_vars)
+
+    def select(self, job: ProofJob) -> str:
+        """The node this job *would* go to (no bookkeeping)."""
+        if self.policy == "round_robin":
+            return self._node_ids[self._rr_next % len(self._node_ids)]
+        if self.policy == "affinity":
+            return self.ring.node_for(job.circuit_key)
+        # least_loaded: argmin outstanding, ties break by node id order
+        return min(self._node_ids, key=lambda n: (self.outstanding_s[n], n))
+
+    def assign(self, job: ProofJob) -> str:
+        """Route ``job``: pick a node and record its predicted cost."""
+        node_id = self.select(job)
+        if self.policy == "round_robin":
+            self._rr_next = (self._rr_next + 1) % len(self._node_ids)
+        self.outstanding_s[node_id] += self.job_cost_s(job)
+        return node_id
+
+    def release(self, node_id: str, cost_s: float | None = None) -> None:
+        """Drop drained cost from ``node_id`` (all of it by default)."""
+        if node_id not in self.outstanding_s:
+            raise KeyError(f"node {node_id!r} is not routed to")
+        if cost_s is None:
+            self.outstanding_s[node_id] = 0.0
+        else:
+            remaining = self.outstanding_s[node_id] - cost_s
+            self.outstanding_s[node_id] = max(0.0, remaining)
+
+    def __repr__(self):
+        nodes = len(self._node_ids)
+        return f"ClusterRouter(policy={self.policy!r}, nodes={nodes})"

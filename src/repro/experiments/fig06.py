@@ -13,7 +13,7 @@ from __future__ import annotations
 from repro.experiments.common import ExperimentResult, geomean
 from repro.experiments import setups
 from repro.hw.cpu_baseline import CpuModel
-from repro.hw.dse import enumerate_sumcheck_configs, sumcheck_dse
+from repro.hw.dse import sumcheck_dse
 from repro.hw.memory import BANDWIDTH_TIERS
 
 

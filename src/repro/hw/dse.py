@@ -25,7 +25,6 @@ from repro.hw import area as area_model
 from repro.hw.accelerator import ZkPhireModel
 from repro.hw.config import (
     AcceleratorConfig,
-    ForestConfig,
     MSMUnitConfig,
     SumCheckUnitConfig,
 )

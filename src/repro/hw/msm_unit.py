@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from math import ceil
 
 from repro.hw import memory, tech
 from repro.hw.config import MSMUnitConfig

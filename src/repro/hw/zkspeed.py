@@ -23,7 +23,6 @@ round-1 reads are free; updated tables still spill off-chip (§IV-B1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from math import ceil
 
 from repro.hw import memory
 from repro.hw.scheduler import PolyProfile

@@ -17,7 +17,7 @@ The builder offers both raw ``add_gate`` and convenience helpers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dc_field
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.fields.prime_field import PrimeField

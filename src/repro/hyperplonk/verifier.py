@@ -11,7 +11,6 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.fields.prime_field import PrimeField
-from repro.gates.library import gate_by_id
 from repro.hyperplonk.commitment import MultilinearKZG
 from repro.hyperplonk.opencheck import EvalClaim, verify_opencheck
 from repro.hyperplonk.permutation import permcheck_terms

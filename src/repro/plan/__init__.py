@@ -20,10 +20,12 @@ from repro.plan.cost import (
     AcceleratorCostModel,
     CpuCostModel,
     FunctionalProverCostModel,
+    HostIndexInstallModel,
     PlanPrice,
     ShapeCostModel,
     phase_modmuls,
     plan_modmuls,
+    preprocess_modmuls,
     sumcheck_modmuls,
 )
 from repro.plan.profiles import FR_NAME, PolyProfile, TermProfile
@@ -46,6 +48,7 @@ __all__ = [
     "FR_NAME",
     "FunctionalProverCostModel",
     "HYPERPLONK_PHASES",
+    "HostIndexInstallModel",
     "MSMTask",
     "OPENCHECK_POINTS",
     "PHASE_KINDS",
@@ -61,5 +64,6 @@ __all__ = [
     "opencheck_profile",
     "phase_modmuls",
     "plan_modmuls",
+    "preprocess_modmuls",
     "sumcheck_modmuls",
 ]

@@ -157,6 +157,39 @@ class FunctionalProverCostModel(ShapeCostModel):
         return FunctionalProverCostModel(sum(ratios) / len(ratios))
 
 
+def preprocess_modmuls(plan: ProofPlan) -> float:
+    """Software modmuls of one ``preprocess()`` run for ``plan``'s shape.
+
+    Preprocessing commits every selector and σ table — ``s + k`` dense
+    MSMs of ``n`` points each (identities are closed-form and never
+    committed; see :func:`repro.hyperplonk.preprocess.preprocess`) —
+    priced with the same per-point constant as the plan's named MSMs.
+    """
+    cols = plan.num_selectors + plan.num_witnesses
+    return cols * plan.num_gates * MSM_MODMULS_PER_POINT
+
+
+class HostIndexInstallModel(ShapeCostModel):
+    """Host-side seconds to build + install one circuit index on a node.
+
+    In the fleet framing (DESIGN.md §7) proving is accelerator-resident
+    but index *builds* stay on the host CPU: a node whose
+    :class:`~repro.service.cache.IndexCache` misses must re-commit the
+    circuit's selector and σ tables before it can prove, so a cache miss
+    costs host-CPU preprocessing time while a hit costs nothing.  The
+    per-modmul constant matches
+    :class:`FunctionalProverCostModel`'s default (the same pure-Python
+    MSM loops run in both places).
+    """
+
+    def __init__(self, s_per_modmul: float = 3.0e-6):
+        super().__init__()
+        self.s_per_modmul = s_per_modmul
+
+    def plan_cost_s(self, plan: ProofPlan) -> float:
+        return preprocess_modmuls(plan) * self.s_per_modmul
+
+
 class AcceleratorCostModel(ShapeCostModel):
     """Plan cost in zkPHIRE seconds (masked schedule included)."""
 

@@ -10,6 +10,8 @@ import argparse
 import json
 import sys
 
+from repro.cli import cache_capacity, nonnegative_float, positive_int
+from repro.fields.vector import available_backends
 from repro.plan import FunctionalProverCostModel
 from repro.service.batching import DRAIN_POLICIES
 from repro.service.core import ProvingService, ServiceConfig
@@ -27,19 +29,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--scenario", default="uniform-small",
                         choices=sorted(SCENARIOS),
                         help="named traffic mix (repro.workloads)")
-    parser.add_argument("--jobs", type=int, default=8,
+    parser.add_argument("--jobs", type=positive_int, default=8,
                         help="number of proof requests to generate")
     parser.add_argument("--executor", default="sync", choices=EXECUTOR_KINDS)
     parser.add_argument("--policy", default="fifo", choices=DRAIN_POLICIES,
                         help="drain order: fifo, shortest-job-first, or "
                              "deadline-aware (cost model: repro.plan)")
-    parser.add_argument("--workers", type=int, default=2,
+    parser.add_argument("--workers", type=positive_int, default=2,
                         help="worker count for thread/process executors")
     parser.add_argument("--backend", default="fused",
-                        help="field-vector backend (reference|fused)")
-    parser.add_argument("--cache-capacity", type=int, default=None,
-                        help="LRU index-cache entries (default: unbounded)")
-    parser.add_argument("--wave-s", type=float, default=1.0,
+                        choices=available_backends(),
+                        help="field-vector backend")
+    parser.add_argument("--cache-capacity", type=cache_capacity, default=None,
+                        help="LRU index-cache entries (0 or omitted: "
+                             "unbounded)")
+    parser.add_argument("--wave-s", type=nonnegative_float, default=1.0,
                         help="drain-wave window in model seconds "
                              "(0 = single wave)")
     parser.add_argument("--seed", type=int, default=0)

@@ -1,0 +1,185 @@
+"""Cluster-layer contracts: real proofs, policy-invariant bytes, model time.
+
+The fleet simulation must never change *what* is proven — only where and
+when.  Every node rebuilds the same seeded SRS, so a proof is
+bit-identical whichever node (and whichever routing policy) produced it,
+and execute-mode clusters produce the same model-time numbers as pure
+simulation over the same stream.
+"""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    FleetTimeModel,
+    NodeConfig,
+    ProvingCluster,
+    SimIndexCache,
+)
+from repro.service.traffic import TrafficGenerator
+
+SCENARIO = "uniform-small"
+SEED = 7
+
+
+def stream(jobs: int, *, scenario: str = SCENARIO, seed: int = SEED):
+    generator = TrafficGenerator(scenario, seed=seed)
+    return generator, generator.jobs(jobs)
+
+
+def make_config(**kwargs) -> ClusterConfig:
+    node = kwargs.pop("node", None)
+    if node is None:
+        node = NodeConfig(max_vars=6, wave_s=1.0)
+    return ClusterConfig(node=node, **kwargs)
+
+
+class TestSimIndexCache:
+    def test_lru_eviction_and_stats(self):
+        cache = SimIndexCache(capacity=2)
+        assert cache.lookup("a") is False
+        assert cache.lookup("a") is True
+        assert cache.lookup("b") is False
+        assert cache.lookup("c") is False  # evicts "a"
+        assert "a" not in cache
+        assert cache.lookup("a") is False
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 4
+        assert cache.stats.evictions == 2
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SimIndexCache(capacity=0)
+
+
+class TestClusterSimulation:
+    def test_single_node_policies_agree(self):
+        """With one node every policy degenerates to the same timeline."""
+        summaries = []
+        for policy in ("round_robin", "least_loaded", "affinity"):
+            _, jobs = stream(10)
+            with ProvingCluster(make_config(num_nodes=1, policy=policy)) as c:
+                c.run(jobs)
+                summaries.append(c.summary()["model"])
+        assert summaries[0] == summaries[1] == summaries[2]
+
+    def test_records_cover_every_job(self):
+        _, jobs = stream(12)
+        with ProvingCluster(make_config(num_nodes=3)) as cluster:
+            records = cluster.run(jobs)
+            summary = cluster.summary()
+        assert len(records) == 12
+        assert sorted(r.job_id for r in records) == list(range(12))
+        assert sum(summary["routing"]["jobs_per_node"].values()) == 12
+        assert summary["jobs"] == 12
+        busy = summary["model"]["busy_s"]
+        assert summary["model"]["makespan_s"] >= max(busy.values()) - 1e-9
+
+    def test_affinity_keeps_shapes_on_one_node(self):
+        _, jobs = stream(16, scenario="zipf-mixed", seed=3)
+        with ProvingCluster(make_config(num_nodes=4, policy="affinity")) as c:
+            c.run(jobs)
+            summary = c.summary()
+        assert summary["routing"]["shape_spread"] == 1.0
+
+    def test_respect_arrivals_inserts_idle_time(self):
+        _, jobs = stream(8)
+        with ProvingCluster(make_config(num_nodes=2)) as saturated:
+            saturated.run(jobs)
+            fast = saturated.summary()["model"]["makespan_s"]
+        _, jobs = stream(8)
+        paced_config = make_config(num_nodes=2, respect_arrivals=True)
+        with ProvingCluster(paced_config) as paced:
+            paced.run(jobs)
+            slow = paced.summary()["model"]["makespan_s"]
+        assert slow >= fast
+
+    def test_oversized_circuit_rejected(self):
+        generator = TrafficGenerator("jellyfish-heavy", seed=0)
+        job = generator.jobs(1)[0]
+        config = make_config(node=NodeConfig(max_vars=3))
+        job.circuit.num_vars = 5  # forged: larger than the node SRS
+        with ProvingCluster(config) as cluster:
+            with pytest.raises(ValueError, match="exceeds"):
+                cluster.submit(job)
+
+    def test_membership_cycle(self):
+        _, jobs = stream(8)
+        with ProvingCluster(make_config(num_nodes=2)) as cluster:
+            cluster.run(jobs[:4])
+            new_node = cluster.add_node()
+            assert new_node == "node-2"
+            cluster.run(jobs[4:])
+            cluster.remove_node(new_node)
+            summary = cluster.summary()
+        assert summary["jobs"] == 8
+        # the retired node's history stays visible
+        assert new_node in summary["model"]["busy_s"]
+
+    def test_remove_with_pending_refused(self):
+        _, jobs = stream(4)
+        with ProvingCluster(make_config(num_nodes=1)) as cluster:
+            for job in jobs:
+                node_id = cluster.submit(job)
+            with pytest.raises(ValueError, match="pending"):
+                cluster.remove_node(node_id)
+
+    def test_time_model_presets(self):
+        assert FleetTimeModel.preset("accelerator").name == "accelerator"
+        assert FleetTimeModel.preset("functional").name == "functional"
+        with pytest.raises(ValueError):
+            FleetTimeModel.preset("nope")
+
+
+class TestClusterExecution:
+    def test_proofs_real_and_verified(self):
+        """Execute mode proves through real per-node services, with
+        in-service verification turned on."""
+        _, jobs = stream(6)
+        config = make_config(
+            num_nodes=2,
+            execute=True,
+            node=NodeConfig(max_vars=6, wave_s=1.0, verify_proofs=True),
+        )
+        with ProvingCluster(config) as cluster:
+            cluster.run(jobs)
+            results = cluster.results
+            summary = cluster.summary()
+        assert len(results) == 6
+        assert all(r.verified for r in results)
+        assert "real" in summary["cache"]
+        assert summary["measured"]["makespan_s"] > 0
+        # caller-held jobs keep their cluster-wide ids after execution,
+        # so results/records can be joined back to the submitted jobs
+        assert sorted(job.job_id for job in jobs) == list(range(6))
+        # the fleet time model must not leak into the per-node service's
+        # prediction metrics (the router never stamps predicted_cost_s)
+        assert all(r.predicted_s is None for r in results)
+
+    def test_policy_does_not_change_proof_bytes(self):
+        """Identical job streams produce identical proofs under every
+        routing policy — sharding moves work, never changes it."""
+        by_policy = {}
+        for policy in ("round_robin", "affinity"):
+            _, jobs = stream(6)
+            config = make_config(num_nodes=2, policy=policy, execute=True)
+            with ProvingCluster(config) as cluster:
+                cluster.run(jobs)
+                results = cluster.results
+                by_policy[policy] = {r.job_id: r.proof for r in results}
+        assert sorted(by_policy["round_robin"]) == sorted(by_policy["affinity"])
+        for job_id, proof in by_policy["round_robin"].items():
+            assert proof == by_policy["affinity"][job_id], (
+                f"job {job_id} proof diverged across routing policies"
+            )
+
+    def test_execute_matches_simulation_model_time(self):
+        """Really proving must not perturb the model-time numbers."""
+        model_sections = []
+        for execute in (False, True):
+            _, jobs = stream(6)
+            config = make_config(num_nodes=2, execute=execute)
+            with ProvingCluster(config) as cluster:
+                cluster.run(jobs)
+                model_sections.append(cluster.summary()["model"])
+        assert model_sections[0] == model_sections[1]

@@ -1,6 +1,5 @@
 """Unit and property tests for repro.curves."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

@@ -160,7 +160,9 @@ class TestBackendDifferential:
     def test_fused_proof_verifies(self, rng):
         vp = random_virtual_polynomial(rng, 4, 3)
         proof = FastSumCheckProver("fused").prove(vp, Transcript(Fr))
-        oracle = lambda name, point: vp.mles[name].evaluate(point)
+        def oracle(name, point):
+            return vp.mles[name].evaluate(point)
+
         challenges = verify_sumcheck(
             Fr, vp.terms, proof, Transcript(Fr), final_eval_oracle=oracle
         )

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.fields import (
     FQ_MODULUS,
     FR_MODULUS,
-    Felt,
     Fq,
     Fr,
     MontgomeryContext,

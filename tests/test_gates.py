@@ -1,13 +1,11 @@
 """Unit tests for the gate-expression language and Table I library."""
 
-import random
 
 import pytest
 
 from repro.fields import Fr
 from repro.gates import (
     TABLE1,
-    CompiledGate,
     Const,
     Scalar,
     Var,

@@ -17,7 +17,6 @@ sides count slightly differently by construction:
 These offsets are exact, so the identities below pin both bookkeepings.
 """
 
-import random
 
 import pytest
 

@@ -1,6 +1,5 @@
 """Unit and property tests for repro.mle."""
 
-import random
 
 import pytest
 from hypothesis import given, settings

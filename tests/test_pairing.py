@@ -6,7 +6,6 @@ import pytest
 
 from repro.curves import G1_GENERATOR
 from repro.curves.pairing import (
-    BLS_X_ABS,
     G2Point,
     multi_pairing,
     pairing,

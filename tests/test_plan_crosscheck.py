@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.fields import Fr, OpCounter
+from repro.fields import OpCounter
 from repro.hyperplonk import (
     HyperPlonkProver,
     MultilinearKZG,

@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.fields import Fr, OpCounter
 from repro.gates import gate_by_id, high_degree_sweep_gate
-from repro.mle import DenseMLE, Term, VirtualPolynomial, build_eq_mle
+from repro.mle import DenseMLE, Term, VirtualPolynomial
 from repro.sumcheck import (
     SumCheckError,
     Transcript,

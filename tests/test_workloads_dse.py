@@ -12,7 +12,7 @@ from repro.hw.dse import (
     pareto_frontier,
     sumcheck_dse,
 )
-from repro.workloads import WORKLOADS, Workload, workload_by_name
+from repro.workloads import WORKLOADS, workload_by_name
 
 
 class TestCatalog:
