@@ -93,6 +93,43 @@ SPECS: dict[str, Spec] = {
             "realtime_p95_improvement_vs_fifo",
         ],
     ),
+    "BENCH_resilience.json": Spec(
+        # every value is deterministic model time (no wall clock), so
+        # the counter facts are exact; the headline rates/ratios sit in
+        # the ratio list per the standing tolerance policy
+        exact=[
+            "benchmark",
+            "unit",
+            "scenario",
+            "time_model",
+            "nodes",
+            "jobs_per_replication",
+            "traffic_seeds",
+            "churn.downtime_fraction",
+            "churn.mttr_s",
+            "churn.seed_offset",
+            "miss_ratio_floor",
+            "retry.policy",
+            "retry.max_retries",
+            "retry.failed_jobs",
+            "no_retry.policy",
+            "no_retry.max_retries",
+            "replications[*].traffic_seed",
+            "replications[*].churn_seed",
+            "replications[*].crashes",
+            "autoscale.scenario",
+            "autoscale.seed",
+            "autoscale.jobs",
+            "autoscale.max_nodes",
+            "autoscale.p50_floor",
+        ],
+        ratio=[
+            "deadline_miss_ratio_smoothed",
+            "retry.pooled_miss_rate",
+            "no_retry.pooled_miss_rate",
+            "autoscale.p50_improvement_vs_fixed",
+        ],
+    ),
     "BENCH_cluster.json": Spec(
         exact=[
             "benchmark",

@@ -2,7 +2,7 @@
 
 zkPHIRE is a programmable accelerator for zero-knowledge proofs over
 high-degree, expressive gates.  This library reproduces the paper as
-three coupled layers:
+coupled layers:
 
 * a **functional ZKP stack** (``repro.fields``, ``repro.curves``,
   ``repro.mle``, ``repro.gates``, ``repro.sumcheck``,
@@ -22,13 +22,15 @@ three coupled layers:
   :class:`~repro.service.TrafficGenerator` over the scenarios in
   ``repro.workloads`` (DESIGN.md §5, ``BENCH_service.json``,
   ``BENCH_scheduler.json``);
-* a **sharded proving cluster** (``repro.cluster``) — a simulated
-  multi-node fleet above the service:
-  :class:`~repro.cluster.ProvingCluster` routes job streams over N
-  prover nodes under ``round_robin`` / ``least_loaded`` / ``affinity``
-  policies, with consistent hashing on the circuit fingerprint keeping
-  same-circuit traffic (and its index-cache wins) on one node
-  (DESIGN.md §7, ``BENCH_cluster.json``);
+* a **sharded proving cluster** (``repro.cluster``, on the
+  ``repro.sim`` discrete-event engine) — a simulated multi-node fleet
+  above the service: :class:`~repro.cluster.ProvingCluster` routes job
+  streams over N prover nodes under ``round_robin`` / ``least_loaded``
+  / ``affinity`` policies, with consistent hashing on the circuit
+  fingerprint keeping same-circuit traffic (and its index-cache wins)
+  on one node, and a failure-aware scenario path — seeded node churn,
+  deterministic crash retries, plan-cost-driven autoscaling
+  (DESIGN.md §7–§8, ``BENCH_cluster.json``, ``BENCH_resilience.json``);
 * a **hardware performance model** (``repro.hw``, ``repro.workloads``,
   ``repro.experiments``) — analytical models of every zkPHIRE module,
   calibrated baselines, and the design-space exploration that regenerates

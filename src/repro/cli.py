@@ -33,6 +33,42 @@ def nonnegative_float(text: str) -> float:
     return value
 
 
+def nonnegative_int(text: str) -> int:
+    """An integer >= 0 (retry budgets, seeds-as-counts)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"{value} is not >= 0")
+    return value
+
+
+def positive_float(text: str) -> float:
+    """A finite float > 0 (MTTRs, autoscale thresholds/intervals)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a finite number > 0")
+    return value
+
+
+def rate_fraction(text: str) -> float:
+    """A churn/downtime fraction in [0, 1) — 1.0 would mean a fleet
+    that is permanently down; argparse rejects it with exit status 2."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not math.isfinite(value) or not 0 <= value < 1:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a fraction in [0, 1)"
+        )
+    return value
+
+
 def cache_capacity(text: str) -> int | None:
     """LRU cache capacity: a positive entry count, or 0 for unbounded.
 

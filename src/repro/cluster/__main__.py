@@ -5,6 +5,13 @@ sweep for each requested routing policy and prints one line per
 (nodes, policy) cell: model throughput, makespan, load imbalance,
 install share, cache hit rate, and shape spread.  Same seed → same job
 stream in every cell, so the cells are directly comparable.
+
+With ``--churn-rate`` (and/or ``--autoscale``) each cell instead runs
+the failure-aware scenario path: jobs submitted at their arrival times,
+a seeded crash/recovery trace targeting the requested node-downtime
+fraction, deterministic crash retries, and optional plan-cost-driven
+autoscaling — the printout then adds deadline-miss, retry, and churn
+columns.
 """
 
 from __future__ import annotations
@@ -13,16 +20,29 @@ import argparse
 import json
 import sys
 
-from repro.cli import cache_capacity, int_list, nonnegative_float, positive_int
+from repro.cli import (
+    cache_capacity,
+    int_list,
+    nonnegative_float,
+    nonnegative_int,
+    positive_float,
+    positive_int,
+    rate_fraction,
+)
+from repro.cluster.autoscale import AutoscalePolicy
 from repro.cluster.core import ClusterConfig, ProvingCluster
 from repro.cluster.nodes import DEFAULT_NODE_CACHE_CAPACITY, NodeConfig
 from repro.cluster.routing import DEFAULT_REPLICAS, ROUTING_POLICIES
 from repro.cluster.timemodel import TIME_MODEL_PRESETS
 from repro.service.traffic import TrafficGenerator
-from repro.workloads import SCENARIOS
+from repro.workloads import SCENARIOS, trace_for_downtime
+
+#: model seconds of churn horizon granted past the last job arrival
+CHURN_HORIZON_SLACK_S = 8.0
 
 
 def policy_list(text: str) -> list[str]:
+    """Comma-separated routing policy names, validated + deduplicated."""
     out: list[str] = []
     for part in text.split(","):
         part = part.strip()
@@ -41,6 +61,7 @@ def policy_list(text: str) -> list[str]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-cluster`` argument parser (shared with tests)."""
     parser = argparse.ArgumentParser(
         prog="repro-cluster",
         description=(
@@ -105,6 +126,66 @@ def build_parser() -> argparse.ArgumentParser:
         help="execute-mode drain-wave window in model seconds (0 = single wave)",
     )
     parser.add_argument(
+        "--churn-rate",
+        type=rate_fraction,
+        default=0.0,
+        help="target fraction of node-time spent down (0 disables churn; "
+        "must be in [0, 1))",
+    )
+    parser.add_argument(
+        "--churn-mttr",
+        type=positive_float,
+        default=2.0,
+        help="mean model seconds a crashed node stays down",
+    )
+    parser.add_argument(
+        "--churn-seed",
+        type=int,
+        default=0,
+        help="churn-trace seed (same seed = same crash/recovery trace)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=nonnegative_int,
+        default=2,
+        help="crash-retry budget per job in scenario runs",
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help="enable the plan-cost-driven autoscaler (scenario runs)",
+    )
+    parser.add_argument(
+        "--scale-out-s",
+        type=positive_float,
+        default=2.0,
+        help="mean predicted backlog s/node above which a node is added",
+    )
+    parser.add_argument(
+        "--scale-in-s",
+        type=nonnegative_float,
+        default=0.25,
+        help="mean predicted backlog s/node below which an idle node retires",
+    )
+    parser.add_argument(
+        "--autoscale-interval",
+        type=positive_float,
+        default=0.5,
+        help="model seconds between autoscaler evaluations",
+    )
+    parser.add_argument(
+        "--provision-s",
+        type=nonnegative_float,
+        default=0.5,
+        help="model seconds before a scaled-out node accepts traffic",
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=positive_int,
+        default=8,
+        help="autoscaler fleet-size ceiling",
+    )
+    parser.add_argument(
         "--execute",
         action="store_true",
         help="really prove on every node (slow; adds measured stats)",
@@ -123,8 +204,24 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def scenario_mode(args) -> bool:
+    """True when the failure-aware path should run."""
+    return args.churn_rate > 0 or args.autoscale
+
+
 def run_cell(args, num_nodes: int, policy: str) -> dict:
+    """One (nodes, policy) sweep cell; scenario path when churn is on."""
     generator = TrafficGenerator(args.scenario, seed=args.seed)
+    autoscale = None
+    if args.autoscale:
+        autoscale = AutoscalePolicy(
+            scale_out_threshold_s=args.scale_out_s,
+            scale_in_threshold_s=args.scale_in_s,
+            interval_s=args.autoscale_interval,
+            min_nodes=1,
+            max_nodes=max(args.max_nodes, num_nodes),
+            provision_s=args.provision_s,
+        )
     config = ClusterConfig(
         num_nodes=num_nodes,
         policy=policy,
@@ -132,19 +229,40 @@ def run_cell(args, num_nodes: int, policy: str) -> dict:
         execute=args.execute,
         respect_arrivals=args.respect_arrivals,
         replicas=args.replicas,
+        max_retries=args.max_retries,
+        autoscale=autoscale,
         node=NodeConfig(
             cache_capacity=args.cache_capacity,
             max_vars=generator.max_vars(),
             wave_s=args.wave_s or None,
         ),
     )
+    jobs = generator.jobs(args.jobs)
     with ProvingCluster(config) as cluster:
-        cluster.run(generator.jobs(args.jobs))
+        if scenario_mode(args):
+            horizon = max(j.arrival_s for j in jobs) + CHURN_HORIZON_SLACK_S
+            churn = trace_for_downtime(
+                num_nodes,
+                horizon,
+                downtime_fraction=args.churn_rate,
+                mttr_s=args.churn_mttr,
+                seed=args.churn_seed,
+            )
+            cluster.run_scenario(jobs, churn=churn)
+        else:
+            cluster.run(jobs)
         return cluster.summary()
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    """Run the sweep and print (or JSON-dump) one row per cell."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.autoscale and args.scale_in_s >= args.scale_out_s:
+        parser.error(
+            f"--scale-in-s ({args.scale_in_s}) must be below "
+            f"--scale-out-s ({args.scale_out_s})"
+        )
     rows = [
         run_cell(args, num_nodes, policy)
         for num_nodes in sorted(args.nodes)
@@ -181,6 +299,33 @@ def main(argv: list[str] | None = None) -> int:
             f"{row['routing']['shape_spread']:>6.2f} "
             f"{model['latency_s']['p95']:>8.3f}s"
         )
+    if scenario_mode(args):
+        print(
+            f"\nresilience (churn rate {args.churn_rate}, "
+            f"mttr {args.churn_mttr}s, max retries {args.max_retries}, "
+            f"autoscale {'on' if args.autoscale else 'off'})"
+        )
+        rheader = (
+            f"{'nodes':>5}  {'policy':<12} {'miss%':>6} {'failed':>6} "
+            f"{'retries':>7} {'requeue':>7} {'crashes':>7} {'scale+':>6} "
+            f"{'scale-':>6}"
+        )
+        print(rheader)
+        print("-" * len(rheader))
+        for row in rows:
+            deadlines = row.get("deadlines", {})
+            resilience = row.get("resilience", {})
+            autoscale = resilience.get("autoscale", {})
+            print(
+                f"{row['nodes']:>5}  {row['policy']:<12} "
+                f"{deadlines.get('miss_rate', 0.0) * 100:>5.1f}% "
+                f"{resilience.get('failed_jobs', 0):>6} "
+                f"{resilience.get('retries', 0):>7} "
+                f"{resilience.get('requeues', 0):>7} "
+                f"{resilience.get('crashes', 0):>7} "
+                f"{autoscale.get('scale_outs', 0):>6} "
+                f"{autoscale.get('scale_ins', 0):>6}"
+            )
     if args.execute:
         print("\nmeasured (execute mode): real per-node caches + prove times")
         for row in rows:

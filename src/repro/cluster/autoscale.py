@@ -1,0 +1,64 @@
+"""Plan-cost-driven fleet autoscaling policy.
+
+The autoscaler closes the loop between the plan layer's predicted
+outstanding cost (:class:`~repro.plan.OutstandingCost`, fed by the
+router on every assignment) and fleet membership: every ``interval_s``
+of model time it reads the *mean predicted outstanding seconds per up
+node* and
+
+* **scales out** — provisions one node (routable after
+  ``provision_s``) — when the signal exceeds
+  ``scale_out_threshold_s`` and the fleet is below ``max_nodes``;
+* **scales in** — retires one idle node — when the signal falls below
+  ``scale_in_threshold_s`` and the fleet is above ``min_nodes``.
+
+One action per tick keeps the control loop deterministic and avoids
+oscillation; thresholds are in predicted *seconds of backlog per node*,
+the same unit the ``least_loaded`` router balances, so one cost model
+drives routing and sizing alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Threshold knobs for the cluster's autoscaler."""
+
+    #: mean predicted outstanding s/node above which a node is added
+    scale_out_threshold_s: float = 2.0
+    #: mean predicted outstanding s/node below which an idle node retires
+    scale_in_threshold_s: float = 0.25
+    #: model seconds between autoscaler evaluations
+    interval_s: float = 0.5
+    #: fleet size bounds (scale-in never goes below ``min_nodes``,
+    #: scale-out never above ``max_nodes``)
+    min_nodes: int = 1
+    max_nodes: int = 8
+    #: model seconds before a provisioned node accepts traffic
+    provision_s: float = 0.5
+
+    def __post_init__(self):
+        if self.interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {self.interval_s}")
+        if self.scale_out_threshold_s <= 0:
+            raise ValueError(
+                "scale_out_threshold_s must be > 0, "
+                f"got {self.scale_out_threshold_s}"
+            )
+        if not 0 <= self.scale_in_threshold_s < self.scale_out_threshold_s:
+            raise ValueError(
+                "scale_in_threshold_s must be in [0, scale_out_threshold_s); "
+                f"got {self.scale_in_threshold_s}"
+            )
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes}")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"max_nodes ({self.max_nodes}) must be >= "
+                f"min_nodes ({self.min_nodes})"
+            )
+        if self.provision_s < 0:
+            raise ValueError(f"provision_s must be >= 0, got {self.provision_s}")

@@ -8,6 +8,15 @@ stream over N :class:`~repro.cluster.nodes.ProverNode`\\ s through a
 private :class:`~repro.service.ProvingService` stacks, so cache hit
 rates and preprocess seconds in the summary are measured, not modelled.
 
+Every run is executed by the discrete-event
+:class:`~repro.cluster.engine.ClusterEngine` on :mod:`repro.sim`:
+:meth:`ProvingCluster.run` / :meth:`drain` is the failure-free drain of
+pre-routed jobs, and :meth:`run_scenario` is the failure-aware path —
+jobs submitted at their arrival times, node churn from a seeded trace,
+deterministic retry/requeue that excludes the failed node, and optional
+plan-cost-driven autoscaling (:class:`~repro.cluster.autoscale.\
+AutoscalePolicy`).
+
 Nodes can be added or removed between drains; the affinity policy's
 consistent-hash ring then moves only the ~K/N fingerprints that land on
 the changed node, so warm caches elsewhere survive rebalancing.
@@ -16,12 +25,16 @@ the changed node, so warm caches elsewhere survive rebalancing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
+from typing import Iterable
 
+from repro.cluster.autoscale import AutoscalePolicy
+from repro.cluster.engine import ClusterEngine
 from repro.cluster.metrics import cluster_summary
 from repro.cluster.nodes import JobRecord, NodeConfig, ProverNode
 from repro.cluster.routing import DEFAULT_REPLICAS, ClusterRouter
 from repro.cluster.timemodel import FleetTimeModel
 from repro.service.jobs import ProofJob, ProofResult
+from repro.workloads.churn import ChurnEvent
 
 
 @dataclass
@@ -42,6 +55,11 @@ class ClusterConfig:
     respect_arrivals: bool = False
     #: virtual points per node on the affinity hash ring
     replicas: int = DEFAULT_REPLICAS
+    #: crash-retry budget per job in :meth:`ProvingCluster.run_scenario`
+    #: (a job lost to its ``max_retries + 1``-th crash is failed)
+    max_retries: int = 2
+    #: plan-cost-driven fleet sizing for scenario runs (None = fixed)
+    autoscale: AutoscalePolicy | None = None
 
 
 class ProvingCluster:
@@ -56,6 +74,8 @@ class ProvingCluster:
         self.config = config = config or ClusterConfig()
         if config.num_nodes < 1:
             raise ValueError("num_nodes must be >= 1")
+        if config.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
         if time_model is None:
             time_model = FleetTimeModel.preset(config.time_model)
         self.time_model = time_model
@@ -73,6 +93,10 @@ class ProvingCluster:
             replicas=config.replicas,
         )
         self.records: list[JobRecord] = []
+        #: jobs dropped by scenario runs (retries exhausted / stranded)
+        self.failed_jobs: list[ProofJob] = []
+        #: resilience section of the last scenario run (None = none ran)
+        self.resilience: dict | None = None
 
     def _new_node_id(self) -> str:
         node_id = f"node-{self._next_node}"
@@ -100,7 +124,7 @@ class ProvingCluster:
         node = self.nodes.get(node_id)
         if node is None:
             raise KeyError(f"unknown node {node_id!r}")
-        if node.pending:
+        if node.pending or node.in_flight is not None:
             raise ValueError(
                 f"node {node_id!r} still has {node.pending} pending jobs; "
                 "drain before removing it"
@@ -110,37 +134,74 @@ class ProvingCluster:
         self._retired.append(self.nodes.pop(node_id))
 
     # -- submission / draining ----------------------------------------------
-    def submit(self, job: ProofJob) -> str:
-        """Route one job; returns the chosen node id."""
+    def check_fits(self, job: ProofJob) -> None:
+        """Reject circuits larger than the per-node SRS allows."""
         max_vars = self.config.node.max_vars
         if job.circuit.num_vars > max_vars:
             raise ValueError(
                 f"circuit μ={job.circuit.num_vars} exceeds the cluster's "
                 f"node SRS (max μ={max_vars})"
             )
-        job.job_id = self._next_id
+
+    def next_job_id(self) -> int:
+        """Stamp the next cluster-wide job id."""
+        job_id = self._next_id
         self._next_id += 1
+        return job_id
+
+    def submit(self, job: ProofJob) -> str:
+        """Route one job; returns the chosen node id."""
+        self.check_fits(job)
+        job.job_id = self.next_job_id()
         node_id = self.router.assign(job)
         self.nodes[node_id].submit(job)
         return node_id
 
     def drain(self) -> list[JobRecord]:
         """Drain every node; returns this wave's records in finish order."""
-        drained: list[JobRecord] = []
-        respect = self.config.respect_arrivals
-        for node_id in sorted(self.nodes):
-            node = self.nodes[node_id]
-            drained.extend(node.drain(respect_arrivals=respect))
-            self.router.release(node_id)
-        drained.sort(key=lambda r: (r.finish_s, r.job_id))
-        self.records.extend(drained)
-        return drained
+        engine = ClusterEngine(
+            self, respect_arrivals=self.config.respect_arrivals
+        )
+        return engine.run_wave()
 
     def run(self, jobs: list[ProofJob]) -> list[JobRecord]:
-        """Submit and drain a whole job stream."""
+        """Submit and drain a whole job stream (failure-free)."""
         for job in jobs:
             self.submit(job)
         return self.drain()
+
+    def run_scenario(
+        self,
+        jobs: list[ProofJob],
+        *,
+        churn: Iterable[ChurnEvent] = (),
+    ) -> list[JobRecord]:
+        """Failure-aware run: arrival-driven submission, churn, retries.
+
+        Jobs are routed at their ``arrival_s`` (arrivals are always
+        respected here); the churn trace crashes and recovers nodes by
+        initial index; ``config.max_retries`` bounds per-job crash
+        retries and ``config.autoscale`` (if set) resizes the fleet.
+        Completed records are returned; dropped jobs land in
+        :attr:`failed_jobs` and the run's failure/autoscale accounting
+        in :attr:`resilience` (both folded into :meth:`summary`).
+        """
+        for job in jobs:
+            self.check_fits(job)
+        engine = ClusterEngine(self, respect_arrivals=True)
+        records = engine.run_scenario(jobs, churn=churn)
+        stats = engine.stats.as_dict()
+        if self.resilience is None:
+            self.resilience = stats
+        else:  # accumulate across scenario runs on one cluster
+            merged = self.resilience
+            for key, value in stats.items():
+                if isinstance(value, (int, float)):
+                    merged[key] = round(merged[key] + value, 6)
+            merged["autoscale"]["scale_outs"] += stats["autoscale"]["scale_outs"]
+            merged["autoscale"]["scale_ins"] += stats["autoscale"]["scale_ins"]
+            merged["autoscale"]["actions"].extend(stats["autoscale"]["actions"])
+        return records
 
     # -- reporting / lifecycle ----------------------------------------------
     @property
@@ -156,14 +217,19 @@ class ProvingCluster:
         return self._retired + active
 
     def summary(self) -> dict:
+        """One dict of model/cache/routing (and resilience) metrics."""
         return cluster_summary(
             self._all_nodes(),
             self.records,
             policy=self.config.policy,
             time_model=self.time_model.name,
+            failed_jobs=self.failed_jobs,
+            resilience=self.resilience,
+            deadlines=self.config.respect_arrivals or self.resilience is not None,
         )
 
     def close(self) -> None:
+        """Shut down every node's private service (execute mode)."""
         for node in self._all_nodes():
             node.close()
 

@@ -1,0 +1,432 @@
+"""The cluster's discrete-event executor (on :mod:`repro.sim`).
+
+:class:`ClusterEngine` drives every :class:`~repro.cluster.core.\
+ProvingCluster` run through one :class:`~repro.sim.Simulator`, so job
+completions, node crashes, recoveries, retries, and autoscaler ticks
+interleave on a single deterministic model-time axis:
+
+* :meth:`run_wave` — the failure-free drain: every pre-routed pending
+  job is processed per node in ``(arrival, job_id)`` order.  This is
+  event-scheduled but arithmetically identical to the pre-engine
+  sequential drain, so ``BENCH_cluster.json`` numbers are unchanged
+  (``tests/test_cluster.py`` holds the sim/execute equality).
+* :meth:`run_scenario` — the failure-aware run: jobs are *submitted at
+  their arrival times* and routed on arrival; a churn trace
+  (:mod:`repro.workloads.churn`) crashes and recovers nodes mid-stream;
+  an optional :class:`~repro.cluster.autoscale.AutoscalePolicy` resizes
+  the fleet from the plan-predicted backlog signal.
+
+Failure semantics: a crash loses the node's *in-flight* job (the lost
+model seconds are accounted), cold-starts its index cache, and takes
+its ring points away so only ~K/N fingerprints remap.  The lost job's
+``attempt`` is bumped and it is requeued through the router with the
+failed node excluded — deterministically, so the same seed and trace
+give identical retry counts (and, in execute mode, identical proof
+bytes).  Queued-but-unstarted jobs requeue without a retry penalty
+(queue state is coordinator-side).  Jobs that exhaust ``max_retries``
+or strand with the whole fleet down are *failed* and count as deadline
+misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.cluster.nodes import JobRecord, ProverNode
+from repro.cluster.routing import NoRoutableNodeError
+from repro.service.jobs import ProofJob
+from repro.sim import EventHandle, Simulator, TraceSource, install
+from repro.workloads.churn import ChurnEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.core import ProvingCluster
+
+#: same-time event priorities: arrivals first, then starts and
+#: finishes, then churn, then autoscaler ticks — a fixed total order
+#: so simultaneous events never depend on scheduling accidents
+PRIO_ARRIVAL = 0
+PRIO_START = 1
+PRIO_FINISH = 2
+PRIO_CHURN = 3
+PRIO_TICK = 4
+
+
+@dataclass
+class ResilienceStats:
+    """Failure/retry/autoscale accounting for one scenario run.
+
+    Counters cover the *serving window*: once the last job resolves,
+    the remaining churn trace is cancelled, so two cells replaying one
+    trace can legitimately report slightly different crash/recovery
+    counts when their jobs finish at different times.
+    """
+
+    crashes: int = 0
+    recoveries: int = 0
+    #: in-flight jobs lost to a crash and requeued (attempt bumped)
+    retries: int = 0
+    #: queued jobs moved off a crashed node (no retry penalty)
+    requeues: int = 0
+    #: times a job had to park because the whole fleet was down
+    parked: int = 0
+    #: retry exclusions waived because only excluded nodes were up
+    exclusion_waivers: int = 0
+    #: jobs dropped: retries exhausted or stranded with the fleet down
+    failed: int = 0
+    #: model seconds of in-flight work destroyed by crashes
+    lost_model_s: float = 0.0
+    scale_outs: int = 0
+    scale_ins: int = 0
+    autoscale_actions: list[dict] = dc_field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """The ``resilience`` section of the cluster summary."""
+        return {
+            "crashes": self.crashes,
+            "recoveries": self.recoveries,
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "parked": self.parked,
+            "exclusion_waivers": self.exclusion_waivers,
+            "failed_jobs": self.failed,
+            "lost_model_s": round(self.lost_model_s, 6),
+            "autoscale": {
+                "scale_outs": self.scale_outs,
+                "scale_ins": self.scale_ins,
+                "actions": self.autoscale_actions,
+            },
+        }
+
+
+class ClusterEngine:
+    """One event-driven cluster run; see the module docstring."""
+
+    def __init__(self, cluster: "ProvingCluster", *, respect_arrivals: bool = False):
+        self.cluster = cluster
+        self.respect = respect_arrivals
+        self.sim = Simulator()
+        self.stats = ResilienceStats()
+        self.records: list[JobRecord] = []
+        self.failed_jobs: list[ProofJob] = []
+        self._start_handles: dict[str, EventHandle] = {}
+        self._finish_handles: dict[str, EventHandle] = {}
+        self._parked: list[ProofJob] = []
+        self._cancellable: list[EventHandle] = []
+        self._tick_handle: EventHandle | None = None
+        self._total_jobs = 0
+        self._scenario = False
+        self.max_retries = cluster.config.max_retries
+
+    # -- node work loop ------------------------------------------------------
+    def _kick(self, node: ProverNode) -> None:
+        """(Re)arm ``node``: start its next job now or at its ready time."""
+        if node.down or node.in_flight is not None:
+            return
+        handle = self._start_handles.pop(node.node_id, None)
+        if handle is not None:
+            handle.cancel()
+        job = node.peek_next(respect_arrivals=self.respect)
+        if job is None:
+            return
+        arrival = job.arrival_s if self.respect else 0.0
+        ready = max(node.clock_s, arrival)
+        if ready <= self.sim.now:
+            self._begin(node)
+        else:
+            self._start_handles[node.node_id] = self.sim.schedule(
+                ready, lambda: self._start_event(node), priority=PRIO_START
+            )
+
+    def _start_event(self, node: ProverNode) -> None:
+        self._start_handles.pop(node.node_id, None)
+        if node.down or node.in_flight is not None:
+            return
+        self._begin(node)
+
+    def _begin(self, node: ProverNode) -> None:
+        job = node.peek_next(respect_arrivals=self.respect)
+        if job is None:
+            return
+        flight = node.begin(job, self.sim.now, respect_arrivals=self.respect)
+        self._finish_handles[node.node_id] = self.sim.schedule(
+            flight.finish_s, lambda: self._finish(node), priority=PRIO_FINISH
+        )
+
+    def _finish(self, node: ProverNode) -> None:
+        self._finish_handles.pop(node.node_id, None)
+        job = node.in_flight.job
+        record = node.complete()
+        self.records.append(record)
+        if self._scenario:
+            self.cluster.router.release(
+                node.node_id, self.cluster.router.job_cost_s(job)
+            )
+            self._check_done()
+        self._kick(node)
+
+    # -- scenario-side routing ----------------------------------------------
+    def _route(self, job: ProofJob) -> str | None:
+        """Route one job, parking it when nothing is routable.
+
+        Node exclusion is best-effort: when the exclusion set would
+        leave a job with no home while other nodes are up, the
+        exclusion is waived (and counted) rather than starving the job
+        — a recovered loser is still a better home than no home.  Jobs
+        park only when the whole fleet is down.
+        """
+        router = self.cluster.router
+        try:
+            node_id = router.assign(job, exclude=job.excluded_node_ids)
+        except NoRoutableNodeError:
+            if not router.up_node_ids:
+                self.stats.parked += 1
+                self._parked.append(job)
+                return None
+            self.stats.exclusion_waivers += 1
+            node_id = router.assign(job)
+        node = self.cluster.nodes[node_id]
+        node.submit(job)
+        self._kick(node)
+        return node_id
+
+    def _unpark(self) -> None:
+        """Retry every parked job after a node became routable."""
+        parked, self._parked = self._parked, []
+        for job in sorted(parked, key=lambda j: (j.arrival_s, j.job_id)):
+            self._route(job)
+
+    def _submit(self, job: ProofJob) -> None:
+        """Arrival event: id-stamp and route one job."""
+        self.cluster.check_fits(job)
+        job.job_id = self.cluster.next_job_id()
+        self._route(job)
+
+    def _fail(self, job: ProofJob) -> None:
+        self.stats.failed += 1
+        self.failed_jobs.append(job)
+        self._check_done()
+
+    def _check_done(self) -> None:
+        """Stop churn/autoscale event streams once every job resolved."""
+        if len(self.records) + len(self.failed_jobs) < self._total_jobs:
+            return
+        for handle in self._cancellable:
+            handle.cancel()
+        self._cancellable.clear()
+        if self._tick_handle is not None:
+            self._tick_handle.cancel()
+            self._tick_handle = None
+
+    # -- churn ---------------------------------------------------------------
+    def _on_churn(self, event: ChurnEvent) -> None:
+        node = self.cluster.nodes.get(f"node-{event.node_index}")
+        if node is None:
+            return  # retired by the autoscaler; churn no longer applies
+        if event.kind == "crash":
+            if not node.down:
+                self._crash(node)
+        elif node.down:
+            self._recover(node)
+
+    def _crash(self, node: ProverNode) -> None:
+        self.stats.crashes += 1
+        handle = self._start_handles.pop(node.node_id, None)
+        if handle is not None:
+            handle.cancel()
+        retry_job: ProofJob | None = None
+        if node.in_flight is not None:
+            handle = self._finish_handles.pop(node.node_id, None)
+            if handle is not None:
+                handle.cancel()
+            retry_job, lost = node.abort(self.sim.now)
+            self.stats.lost_model_s += lost
+        requeued = node.crash(self.sim.now)
+        self.cluster.router.mark_down(node.node_id)
+        for job in sorted(requeued, key=lambda j: (j.arrival_s, j.job_id)):
+            self.stats.requeues += 1
+            self._route(job)
+        if retry_job is not None:
+            retry_job.attempt += 1
+            retry_job.excluded_node_ids = tuple(
+                dict.fromkeys((*retry_job.excluded_node_ids, node.node_id))
+            )
+            if retry_job.attempt > self.max_retries:
+                self._fail(retry_job)
+            else:
+                self.stats.retries += 1
+                self._route(retry_job)
+
+    def _recover(self, node: ProverNode) -> None:
+        self.stats.recoveries += 1
+        node.recover(self.sim.now)
+        self.cluster.router.mark_up(node.node_id)
+        self._unpark()
+        self._kick(node)
+
+    # -- autoscaler ----------------------------------------------------------
+    def _backlog_signal_s(self) -> float | None:
+        """Mean predicted outstanding seconds per up node (None = all down).
+
+        Parked jobs count toward the backlog — they are exactly the
+        work the fleet currently has no capacity for.
+        """
+        router = self.cluster.router
+        up = router.up_node_ids
+        if not up:
+            return None
+        outstanding = router.outstanding
+        parked = sum(router.job_cost_s(job) for job in self._parked)
+        return (sum(outstanding.node_s(n) for n in up) + parked) / len(up)
+
+    def _tick(self) -> None:
+        self._tick_handle = None
+        if len(self.records) + len(self.failed_jobs) >= self._total_jobs:
+            return
+        policy = self.cluster.config.autoscale
+        signal = self._backlog_signal_s()
+        can_grow = len(self.cluster.nodes) < policy.max_nodes
+        if signal is None:
+            # whole fleet down: provision a replacement for parked work
+            if self._parked and can_grow:
+                self._scale_out(0.0)
+        elif signal > policy.scale_out_threshold_s and can_grow:
+            self._scale_out(signal)
+        elif signal < policy.scale_in_threshold_s:
+            self._scale_in(signal)
+        if len(self.sim):
+            # only re-arm while something else can still happen; with an
+            # empty heap the state is frozen between ticks, so ticking
+            # on would spin the simulation forever (stranded jobs are
+            # failed at finalize instead)
+            self._tick_handle = self.sim.schedule_after(
+                policy.interval_s, self._tick, priority=PRIO_TICK
+            )
+
+    def _scale_out(self, signal: float) -> None:
+        policy = self.cluster.config.autoscale
+        node_id = self.cluster.add_node()
+        node = self.cluster.nodes[node_id]
+        self.stats.scale_outs += 1
+        self.stats.autoscale_actions.append(
+            {
+                "at_s": round(self.sim.now, 6),
+                "action": "scale_out",
+                "node_id": node_id,
+                "signal_s": round(signal, 6),
+                "nodes": len(self.cluster.nodes),
+            }
+        )
+        if policy.provision_s > 0:
+            # not routable until provisioned: down-marked, then revived
+            node.down = True
+            self.cluster.router.mark_down(node_id)
+            self.sim.schedule_after(
+                policy.provision_s,
+                lambda: self._provisioned(node),
+                priority=PRIO_CHURN,
+            )
+        else:
+            self._unpark()
+
+    def _provisioned(self, node: ProverNode) -> None:
+        if self.cluster.nodes.get(node.node_id) is not node:
+            return  # retired before provisioning finished
+        node.recover(self.sim.now)
+        self.cluster.router.mark_up(node.node_id)
+        self._unpark()
+        self._kick(node)
+
+    def _scale_in(self, signal: float) -> None:
+        policy = self.cluster.config.autoscale
+        router = self.cluster.router
+        if len(router.up_node_ids) <= policy.min_nodes:
+            return
+        idle = [
+            node_id
+            for node_id in router.up_node_ids
+            if self.cluster.nodes[node_id].idle
+        ]
+        if not idle:
+            return
+        # retire the newest idle node: scale-in unwinds scale-out
+        node_id = max(idle, key=lambda n: int(n.rsplit("-", 1)[1]))
+        node = self.cluster.nodes[node_id]
+        node.flush_service()  # execute mode: prove its backlog first
+        self.cluster.remove_node(node_id)
+        self.stats.scale_ins += 1
+        self.stats.autoscale_actions.append(
+            {
+                "at_s": round(self.sim.now, 6),
+                "action": "scale_in",
+                "node_id": node_id,
+                "signal_s": round(signal, 6),
+                "nodes": len(self.cluster.nodes),
+            }
+        )
+
+    # -- entry points --------------------------------------------------------
+    def _finalize(self) -> list[JobRecord]:
+        """Sort, record, and really prove (execute mode) this run's work."""
+        for job in sorted(self._parked, key=lambda j: (j.arrival_s, j.job_id)):
+            self._fail(job)  # stranded: fleet was down to the end
+        self._parked = []
+        self.records.sort(key=lambda r: (r.finish_s, r.job_id))
+        self.cluster.records.extend(self.records)
+        self.cluster.failed_jobs.extend(self.failed_jobs)
+        for node_id in sorted(self.cluster.nodes):
+            self.cluster.nodes[node_id].flush_service()
+        return self.records
+
+    def run_wave(self) -> list[JobRecord]:
+        """Drain every pre-routed pending job (the failure-free path)."""
+        self._scenario = False
+        self._total_jobs = sum(
+            node.pending for node in self.cluster.nodes.values()
+        )
+        for node_id in sorted(self.cluster.nodes):
+            self._kick(self.cluster.nodes[node_id])
+        self.sim.run()
+        records = self._finalize()
+        for node_id in sorted(self.cluster.nodes):
+            self.cluster.router.release(node_id)
+        return records
+
+    def run_scenario(
+        self,
+        jobs: list[ProofJob],
+        *,
+        churn: Iterable[ChurnEvent] = (),
+    ) -> list[JobRecord]:
+        """Arrival-driven run with churn, retries, and autoscaling.
+
+        Arrivals are always respected (jobs are routed at their
+        ``arrival_s``), so deadline accounting is meaningful.  The
+        churn trace addresses nodes by *initial* index; events for
+        nodes the autoscaler has retired are skipped.
+        """
+        self._scenario = True
+        self.respect = True
+        self._total_jobs = len(jobs)
+        for job in jobs:
+            self.sim.schedule(
+                job.arrival_s,
+                (lambda j=job: self._submit(j)),
+                priority=PRIO_ARRIVAL,
+            )
+        self._cancellable.extend(
+            install(
+                self.sim,
+                TraceSource([(event.at_s, event) for event in churn]),
+                self._on_churn,
+                priority=PRIO_CHURN,
+            )
+        )
+        if self.cluster.config.autoscale is not None:
+            self._tick_handle = self.sim.schedule(
+                self.cluster.config.autoscale.interval_s,
+                self._tick,
+                priority=PRIO_TICK,
+            )
+        self.sim.run()
+        return self._finalize()

@@ -1,7 +1,6 @@
-"""Fleet-level measurement: makespan, imbalance, cache locality.
+"""Fleet-level measurement: makespan, imbalance, locality, resilience.
 
-:func:`cluster_summary` renders one dict per cluster run, with three
-sections:
+:func:`cluster_summary` renders one dict per cluster run:
 
 * ``model`` — model-time results: makespan (latest node finish),
   throughput, fleet p50/p95/max latency, per-node busy seconds and
@@ -14,7 +13,13 @@ sections:
 * ``routing`` — jobs and distinct circuit shapes per node, and the
   *shape spread*: the mean number of nodes that saw each circuit
   structure (1.0 = perfect affinity, ≈N = every shape installed
-  everywhere).
+  everywhere);
+* ``deadlines`` (arrival-respecting runs) — :func:`deadline_stats`:
+  how many deadline-carrying jobs finished late, with dropped jobs
+  counted as misses — the headline the resilience benchmark gates on;
+* ``retries`` / ``resilience`` (scenario runs) — :func:`retry_stats`
+  latency accounting for crash-retried jobs, plus the engine's
+  crash/recovery/requeue/autoscale counters.
 """
 
 from __future__ import annotations
@@ -52,12 +57,69 @@ def shape_spread(nodes: list[ProverNode]) -> float:
     return placements / len(shapes)
 
 
+def deadline_stats(records: list[JobRecord], failed_jobs: list) -> dict:
+    """Deadline accounting over completed records and dropped jobs.
+
+    Only jobs that carry a deadline participate; a dropped (failed) job
+    with a deadline counts as a miss — losing a realtime job *is* a
+    deadline miss from the client's point of view.  Lateness is
+    ``finish - deadline`` over the missed completions.
+    """
+    dated = [r for r in records if r.deadline_s is not None]
+    failed_dated = [j for j in failed_jobs if j.deadline_s is not None]
+    missed_records = [r for r in dated if r.missed_deadline]
+    total = len(dated) + len(failed_dated)
+    missed = len(missed_records) + len(failed_dated)
+    lateness = [r.finish_s - r.deadline_s for r in missed_records]
+    return {
+        "jobs": total,
+        "met": total - missed,
+        "missed": missed,
+        "missed_by_failure": len(failed_dated),
+        "miss_rate": round(missed / total, 4) if total else 0.0,
+        "max_lateness_s": round(max(lateness), 6) if lateness else 0.0,
+        "mean_lateness_s": (
+            round(sum(lateness) / len(lateness), 6) if lateness else 0.0
+        ),
+    }
+
+
+def retry_stats(records: list[JobRecord]) -> dict:
+    """Latency cost of crash retries over one run's completed records.
+
+    Splits fleet latency between first-try completions and jobs that
+    were lost to at least one crash and reproven elsewhere — the
+    retry-latency accounting ISSUE 5 asks the metrics layer to carry.
+    """
+    retried = [r for r in records if r.attempt > 0]
+    first_try = [r for r in records if r.attempt == 0]
+
+    def mean_latency(rows: list[JobRecord]) -> float:
+        if not rows:
+            return 0.0
+        return round(sum(r.latency_s for r in rows) / len(rows), 6)
+
+    return {
+        "jobs_retried": len(retried),
+        "attempts": sum(r.attempt for r in retried),
+        "max_attempt": max((r.attempt for r in retried), default=0),
+        "mean_latency_first_try_s": mean_latency(first_try),
+        "mean_latency_retried_s": mean_latency(retried),
+        "p95_latency_retried_s": round(
+            percentile([r.latency_s for r in retried], 95), 6
+        ),
+    }
+
+
 def cluster_summary(
     nodes: list[ProverNode],
     records: list[JobRecord],
     *,
     policy: str,
     time_model: str,
+    failed_jobs: list | None = None,
+    resilience: dict | None = None,
+    deadlines: bool = False,
 ) -> dict:
     """One summary dict over a finished cluster run."""
     makespan = max((r.finish_s for r in records), default=0.0)
@@ -104,6 +166,11 @@ def cluster_summary(
             "shape_spread": round(shape_spread(nodes), 4),
         },
     }
+    if deadlines:
+        doc["deadlines"] = deadline_stats(records, failed_jobs or [])
+    if resilience is not None:
+        doc["retries"] = retry_stats(records)
+        doc["resilience"] = resilience
     real_stats = [
         node.real_cache_stats
         for node in nodes

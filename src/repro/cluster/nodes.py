@@ -4,10 +4,18 @@ A :class:`ProverNode` is the sharding unit of the simulated fleet.  It
 always runs the *simulated* layer — an LRU fingerprint cache
 (:class:`SimIndexCache`) plus a model-time clock advanced by the
 cluster's :class:`~repro.cluster.timemodel.FleetTimeModel` — and, when
-the cluster runs in ``execute`` mode, additionally drains its jobs
-through a private :class:`~repro.service.ProvingService` (own SRS, own
-:class:`~repro.service.cache.IndexCache`, own worker pool) so the
+the cluster runs in ``execute`` mode, additionally proves its completed
+jobs through a private :class:`~repro.service.ProvingService` (own SRS,
+own :class:`~repro.service.cache.IndexCache`, own worker pool) so the
 proofs, cache hits, and preprocess seconds it reports are real.
+
+Nodes expose event-granular primitives — :meth:`begin` /
+:meth:`complete` / :meth:`abort` / :meth:`crash` / :meth:`recover` —
+driven by the cluster's discrete-event engine
+(:mod:`repro.cluster.engine` on :mod:`repro.sim`); they never advance
+time themselves.  A crash loses the in-flight job and cold-starts the
+node's index cache; queued jobs survive (queue state is
+coordinator-side) and are requeued by the engine.
 
 Every node builds its SRS from the same seed, so a proof is bit-identical
 no matter which node produced it — routing policy changes *when and
@@ -64,6 +72,10 @@ class SimIndexCache:
                 self.stats.evictions += 1
         return False
 
+    def clear(self) -> None:
+        """Drop every cached key (stats survive) — a node cold start."""
+        self._keys.clear()
+
 
 @dataclass
 class NodeConfig:
@@ -100,10 +112,33 @@ class JobRecord:
     prove_model_s: float
     install_model_s: float
     cache_hit: bool
+    #: absolute model-time deadline the job carried (None = none)
+    deadline_s: float | None = None
+    #: retry ordinal at completion (0 = never lost to a crash)
+    attempt: int = 0
 
     @property
     def latency_s(self) -> float:
+        """Arrival-to-finish model seconds."""
         return self.finish_s - self.arrival_s
+
+    @property
+    def missed_deadline(self) -> bool:
+        """True when the job finished past its deadline."""
+        return self.deadline_s is not None and self.finish_s > self.deadline_s
+
+
+@dataclass
+class InFlightJob:
+    """The one job a node is currently proving (model time)."""
+
+    job: ProofJob
+    arrival_s: float
+    start_s: float
+    finish_s: float
+    install_s: float
+    prove_s: float
+    cache_hit: bool
 
 
 class ProverNode:
@@ -125,11 +160,18 @@ class ProverNode:
         self.clock_s = 0.0
         #: model seconds spent proving + installing (idle excluded)
         self.busy_s = 0.0
+        #: model seconds of in-flight work lost to crashes
+        self.lost_s = 0.0
         self.jobs_done = 0
+        self.crashes = 0
+        self.down = False
         self.shapes_seen: set[str] = set()
         self.records: list[JobRecord] = []
         self.results: list[ProofResult] = []
+        self.in_flight: InFlightJob | None = None
         self._pending: list[ProofJob] = []
+        #: jobs completed in model time but not yet really proven
+        self._to_execute: list[ProofJob] = []
         self.service: ProvingService | None = None
         if execute:
             self.service = ProvingService(
@@ -146,70 +188,154 @@ class ProverNode:
 
     @property
     def pending(self) -> int:
+        """Queued jobs not yet started (in-flight work excluded)."""
         return len(self._pending)
 
+    @property
+    def idle(self) -> bool:
+        """True when the node is up with nothing queued or in flight."""
+        return not self.down and self.in_flight is None and not self._pending
+
     def submit(self, job: ProofJob) -> None:
+        """Queue ``job`` on this node (the router already chose it)."""
         self._pending.append(job)
         self.shapes_seen.add(job.circuit_key)
 
-    def drain(self, *, respect_arrivals: bool = False) -> list[JobRecord]:
-        """Process everything pending in arrival order.
+    # -- event-engine primitives --------------------------------------------
+    @staticmethod
+    def _queue_key(job: ProofJob, respect_arrivals: bool) -> tuple:
+        arrival = job.arrival_s if respect_arrivals else 0.0
+        return (arrival, job.job_id)
 
-        Advances the model clock job by job: a sim-cache miss charges
-        the install cost before the prove cost.  With
-        ``respect_arrivals`` the clock waits for each job's model-time
-        arrival (idle gaps appear); without it the node runs saturated
-        and arrivals only order the queue.  In execute mode the same
-        jobs then run through the real per-node service.
+    def peek_next(self, *, respect_arrivals: bool = False) -> ProofJob | None:
+        """The queued job the node would start next (None if empty)."""
+        if not self._pending:
+            return None
+        return min(
+            self._pending, key=lambda j: self._queue_key(j, respect_arrivals)
+        )
+
+    def begin(
+        self, job: ProofJob, now_s: float, *, respect_arrivals: bool = False
+    ) -> InFlightJob:
+        """Start proving ``job``: cache lookup, install-or-hit, timing.
+
+        ``start = max(node clock, arrival)`` (arrival counts as 0 when
+        arrivals are not respected); a sim-cache miss charges the
+        install cost before the prove cost.  The caller schedules the
+        finish event at ``in_flight.finish_s``.
         """
-        jobs, self._pending = self._pending, []
-        if not jobs:
-            return []
-        jobs.sort(key=lambda j: (j.arrival_s, j.job_id))
-        drained: list[JobRecord] = []
-        for job in jobs:
-            arrival = job.arrival_s if respect_arrivals else 0.0
-            start = max(self.clock_s, arrival)
-            install = 0.0
-            hit = self.sim_cache.lookup(job.circuit_key)
-            if not hit:
-                install = self.time_model.install_s(job)
-            prove = self.time_model.prove_s(job)
-            self.clock_s = start + install + prove
-            self.busy_s += install + prove
-            self.jobs_done += 1
-            drained.append(
-                JobRecord(
-                    job_id=job.job_id,
-                    tag=job.tag,
-                    circuit_key=job.circuit_key,
-                    node_id=self.node_id,
-                    arrival_s=arrival,
-                    start_s=start,
-                    finish_s=self.clock_s,
-                    prove_model_s=prove,
-                    install_model_s=install,
-                    cache_hit=hit,
-                )
-            )
-        self.records.extend(drained)
+        if self.down:
+            raise RuntimeError(f"node {self.node_id} is down")
+        if self.in_flight is not None:
+            raise RuntimeError(f"node {self.node_id} is already proving")
+        self._pending.remove(job)
+        arrival = job.arrival_s if respect_arrivals else 0.0
+        start = max(self.clock_s, arrival, now_s if respect_arrivals else 0.0)
+        install = 0.0
+        hit = self.sim_cache.lookup(job.circuit_key)
+        if not hit:
+            install = self.time_model.install_s(job)
+        prove = self.time_model.prove_s(job)
+        self.in_flight = InFlightJob(
+            job=job,
+            arrival_s=arrival,
+            start_s=start,
+            finish_s=start + install + prove,
+            install_s=install,
+            prove_s=prove,
+            cache_hit=hit,
+        )
+        return self.in_flight
+
+    def complete(self) -> JobRecord:
+        """Commit the in-flight job at its finish time; returns the record."""
+        flight = self.in_flight
+        if flight is None:
+            raise RuntimeError(f"node {self.node_id} has nothing in flight")
+        self.in_flight = None
+        self.clock_s = flight.finish_s
+        self.busy_s += flight.install_s + flight.prove_s
+        self.jobs_done += 1
+        record = JobRecord(
+            job_id=flight.job.job_id,
+            tag=flight.job.tag,
+            circuit_key=flight.job.circuit_key,
+            node_id=self.node_id,
+            arrival_s=flight.arrival_s,
+            start_s=flight.start_s,
+            finish_s=flight.finish_s,
+            prove_model_s=flight.prove_s,
+            install_model_s=flight.install_s,
+            cache_hit=flight.cache_hit,
+            deadline_s=flight.job.deadline_s,
+            attempt=flight.job.attempt,
+        )
+        self.records.append(record)
         if self.service is not None:
-            # the node's service re-ids jobs for its own queue; map the
-            # results back to cluster-wide ids so records and results of
-            # one job line up across the fleet
-            cluster_ids = {id(job): job.job_id for job in jobs}
-            results = self.service.run(jobs, wave_s=self.config.wave_s)
-            remap = {job.job_id: cluster_ids[id(job)] for job in jobs}
-            for result in results:
-                result.job_id = remap[result.job_id]
-            for job in jobs:  # leave caller-held jobs cluster-consistent
-                job.job_id = cluster_ids[id(job)]
-            self.results.extend(results)
-        return drained
+            self._to_execute.append(flight.job)
+        return record
+
+    def abort(self, now_s: float) -> tuple[ProofJob, float]:
+        """Lose the in-flight job at ``now_s``; returns (job, lost seconds)."""
+        flight = self.in_flight
+        if flight is None:
+            raise RuntimeError(f"node {self.node_id} has nothing in flight")
+        self.in_flight = None
+        lost = max(0.0, now_s - flight.start_s)
+        self.lost_s += lost
+        return flight.job, lost
+
+    def crash(self, now_s: float) -> list[ProofJob]:
+        """Take the node down at ``now_s``; returns its queued jobs.
+
+        The in-flight job (if any) must be aborted by the caller
+        *before* the crash so retry bookkeeping happens at one place;
+        the local index cache cold-starts (keys dropped, stats kept).
+        """
+        if self.down:
+            raise RuntimeError(f"node {self.node_id} is already down")
+        if self.in_flight is not None:
+            raise RuntimeError("abort the in-flight job before crashing")
+        self.down = True
+        self.crashes += 1
+        self.clock_s = max(self.clock_s, now_s)
+        self.sim_cache.clear()
+        requeued, self._pending = self._pending, []
+        return requeued
+
+    def recover(self, now_s: float) -> None:
+        """Bring the node back up at ``now_s`` with a cold cache."""
+        if not self.down:
+            raise RuntimeError(f"node {self.node_id} is not down")
+        self.down = False
+        self.clock_s = max(self.clock_s, now_s)
+
+    # -- execute mode --------------------------------------------------------
+    def flush_service(self) -> list[ProofResult]:
+        """Really prove every model-completed job (execute mode only).
+
+        The node's service re-ids jobs for its own queue; results are
+        mapped back to cluster-wide ids so records and results of one
+        job line up across the fleet.
+        """
+        jobs, self._to_execute = self._to_execute, []
+        if self.service is None or not jobs:
+            return []
+        cluster_ids = {id(job): job.job_id for job in jobs}
+        results = self.service.run(jobs, wave_s=self.config.wave_s)
+        remap = {job.job_id: cluster_ids[id(job)] for job in jobs}
+        for result in results:
+            result.job_id = remap[result.job_id]
+        for job in jobs:  # leave caller-held jobs cluster-consistent
+            job.job_id = cluster_ids[id(job)]
+        self.results.extend(results)
+        return results
 
     # -- measured side (execute mode only) ----------------------------------
     @property
     def real_cache_stats(self) -> CacheStats | None:
+        """The private service's index-cache stats (None in sim mode)."""
         if self.service is None:
             return None
         return self.service.cache.stats
@@ -223,11 +349,13 @@ class ProverNode:
         return self.service.cache.stats.preprocess_s + prove
 
     def close(self) -> None:
+        """Shut down the node's private proving service (if any)."""
         if self.service is not None:
             self.service.close()
 
     def __repr__(self):
+        state = "down" if self.down else "up"
         return (
-            f"ProverNode({self.node_id!r}, jobs={self.jobs_done}, "
+            f"ProverNode({self.node_id!r}, {state}, jobs={self.jobs_done}, "
             f"busy={self.busy_s:.4f}s)"
         )

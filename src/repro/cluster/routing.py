@@ -22,6 +22,13 @@ so placements are identical across runs, interpreters, and machines —
 ``tests/test_cluster_routing.py`` locks this across a process boundary.
 Adding or removing a node only moves the keys that land on it
 (~K/N of them), which is the whole point of hashing consistently.
+
+Failure awareness (ISSUE 5) rides on the same guarantee: a crashed node
+is *marked down* — its ring points are withdrawn, so only its ~K/N keys
+remap, and every policy skips it — while staying a cluster member, so a
+recovery re-adds the same points and the original placement returns.
+Retries can additionally pass an ``exclude`` set so a requeued job never
+lands back on the node that just lost it.
 """
 
 from __future__ import annotations
@@ -30,11 +37,21 @@ import bisect
 import hashlib
 from typing import Iterable
 
-from repro.plan.cost import FunctionalProverCostModel, ShapeCostModel
+from repro.plan.cost import FunctionalProverCostModel, OutstandingCost, ShapeCostModel
 from repro.service.jobs import ProofJob
 
 #: routing policy names accepted by :class:`ClusterRouter`
 ROUTING_POLICIES = ("round_robin", "least_loaded", "affinity")
+
+
+class NoRoutableNodeError(RuntimeError):
+    """Raised when every cluster node is down or excluded.
+
+    The failure-aware engine catches this to *park* jobs until a node
+    recovers; reaching it through the plain :class:`ClusterRouter` API
+    means the caller took the whole fleet down.
+    """
+
 
 #: virtual points per node on the hash ring; more replicas smooth the
 #: per-node share of key space at the cost of ring size
@@ -74,12 +91,14 @@ class HashRing:
 
     @property
     def node_ids(self) -> list[str]:
+        """Member node ids, sorted."""
         return sorted(self._nodes)
 
     def _points_for(self, node_id: str) -> list[int]:
         return [stable_hash(f"{node_id}#{i}") for i in range(self.replicas)]
 
     def add_node(self, node_id: str) -> None:
+        """Insert the node's virtual points (~K/N keys move to it)."""
         if node_id in self._nodes:
             raise ValueError(f"node {node_id!r} is already on the ring")
         self._nodes.add(node_id)
@@ -89,6 +108,7 @@ class HashRing:
             self._point_nodes.insert(index, node_id)
 
     def remove_node(self, node_id: str) -> None:
+        """Withdraw the node's points (only its keys move away)."""
         if node_id not in self._nodes:
             raise KeyError(f"node {node_id!r} is not on the ring")
         self._nodes.discard(node_id)
@@ -100,14 +120,29 @@ class HashRing:
         self._point_hashes = [point for point, _ in keep]
         self._point_nodes = [node for _, node in keep]
 
-    def node_for(self, key: str) -> str:
-        """The node owning ``key``: first ring point clockwise from it."""
+    def node_for(self, key: str, *, exclude: Iterable[str] = ()) -> str:
+        """The node owning ``key``: first ring point clockwise from it.
+
+        With ``exclude``, the walk continues clockwise past excluded
+        nodes to the next distinct owner — the consistent-hash failover
+        rule, so one failed node only diverts its own keys and every
+        diverted key goes to the key's ring successor.
+        """
         if not self._nodes:
             raise ValueError("the ring has no nodes")
-        index = bisect.bisect_right(self._point_hashes, stable_hash(key))
-        if index == len(self._point_hashes):
-            index = 0
-        return self._point_nodes[index]
+        excluded = set(exclude)
+        eligible = self._nodes - excluded
+        if not eligible:
+            raise NoRoutableNodeError(
+                f"every ring node is excluded ({sorted(excluded)})"
+            )
+        start = bisect.bisect_right(self._point_hashes, stable_hash(key))
+        points = len(self._point_hashes)
+        for offset in range(points):
+            node = self._point_nodes[(start + offset) % points]
+            if node not in excluded:
+                return node
+        raise NoRoutableNodeError("no eligible ring point found")
 
     def __repr__(self):
         return f"HashRing(nodes={len(self._nodes)}, replicas={self.replicas})"
@@ -116,10 +151,14 @@ class HashRing:
 class ClusterRouter:
     """Assigns jobs to node ids under one of :data:`ROUTING_POLICIES`.
 
-    The router tracks predicted outstanding cost per node (fed by
-    :meth:`assign`, released by :meth:`release`) so ``least_loaded``
-    stays correct without reaching into node internals; the cluster
-    releases a node's cost when it drains.
+    The router tracks predicted outstanding cost per node through a
+    shared :class:`~repro.plan.OutstandingCost` (fed by :meth:`assign`,
+    drained by :meth:`release`) so ``least_loaded`` stays correct
+    without reaching into node internals and the autoscaler can read the
+    same fleet-wide signal; the cluster releases a node's cost when it
+    drains.  Down marks (:meth:`mark_down` / :meth:`mark_up`) carry node
+    churn: a down node keeps its membership but receives no traffic and
+    holds no ring points.
     """
 
     def __init__(
@@ -140,33 +179,84 @@ class ClusterRouter:
             raise ValueError("a router needs at least one node")
         self.ring = HashRing(self._node_ids, replicas=replicas)
         self.cost_model = cost_model or FunctionalProverCostModel()
-        self.outstanding_s: dict[str, float] = {
-            node_id: 0.0 for node_id in self._node_ids
-        }
+        self.outstanding = OutstandingCost(self.cost_model)
+        for node_id in self._node_ids:
+            self.outstanding.track(node_id)
+        self._down: set[str] = set()
         self._rr_next = 0
 
     @property
     def node_ids(self) -> list[str]:
+        """Every member node id, down nodes included (sorted)."""
         return list(self._node_ids)
 
+    @property
+    def up_node_ids(self) -> list[str]:
+        """Member node ids currently accepting traffic (sorted)."""
+        return [n for n in self._node_ids if n not in self._down]
+
+    @property
+    def down_node_ids(self) -> list[str]:
+        """Member node ids currently marked down (sorted)."""
+        return sorted(self._down)
+
+    @property
+    def outstanding_s(self) -> dict[str, float]:
+        """Predicted outstanding prove seconds per member node."""
+        return self.outstanding.per_node_s
+
     def add_node(self, node_id: str) -> None:
-        if node_id in self.outstanding_s:
+        """Join ``node_id`` as an up member."""
+        if node_id in self.outstanding:
             raise ValueError(f"node {node_id!r} is already routed to")
         self.ring.add_node(node_id)
         self._node_ids = sorted(self._node_ids + [node_id])
-        self.outstanding_s[node_id] = 0.0
+        self.outstanding.track(node_id)
         self._rr_next = 0
 
     def remove_node(self, node_id: str) -> None:
-        if node_id not in self.outstanding_s:
+        """Retire ``node_id`` from membership entirely."""
+        if node_id not in self.outstanding:
             raise KeyError(f"node {node_id!r} is not routed to")
         if len(self._node_ids) == 1:
             raise ValueError("cannot remove the last node")
-        self.ring.remove_node(node_id)
+        if node_id not in self._down:
+            self.ring.remove_node(node_id)
+        self._down.discard(node_id)
         self._node_ids = [n for n in self._node_ids if n != node_id]
-        del self.outstanding_s[node_id]
+        self.outstanding.drop(node_id)
         self._rr_next = 0
 
+    # -- churn ---------------------------------------------------------------
+    def mark_down(self, node_id: str) -> None:
+        """Stop routing to a crashed member; its ~K/N ring keys remap.
+
+        Unlike :meth:`remove_node`, the node stays a member (so
+        :meth:`mark_up` restores its exact ring points), and a whole
+        fleet may legally be down at once — jobs then park until a
+        recovery.  The node's outstanding cost is zeroed; the caller
+        requeues its jobs.
+        """
+        if node_id not in self.outstanding:
+            raise KeyError(f"node {node_id!r} is not routed to")
+        if node_id in self._down:
+            raise ValueError(f"node {node_id!r} is already down")
+        self._down.add(node_id)
+        self.ring.remove_node(node_id)
+        self.outstanding.release(node_id)
+        self._rr_next = 0
+
+    def mark_up(self, node_id: str) -> None:
+        """Resume routing to a recovered member (ring points return)."""
+        if node_id not in self.outstanding:
+            raise KeyError(f"node {node_id!r} is not routed to")
+        if node_id not in self._down:
+            raise ValueError(f"node {node_id!r} is not down")
+        self._down.discard(node_id)
+        self.ring.add_node(node_id)
+        self._rr_next = 0
+
+    # -- assignment ----------------------------------------------------------
     def job_cost_s(self, job: ProofJob) -> float:
         """Predicted prove seconds for routing bookkeeping only.
 
@@ -174,35 +264,46 @@ class ClusterRouter:
         the node's own service cost model, and a fleet-model stamp here
         would corrupt the service's predicted-vs-actual metrics.
         """
-        circuit = job.circuit
-        return self.cost_model.shape_cost_s(circuit.gate_type.name, circuit.num_vars)
+        return self.outstanding.job_cost_s(job)
 
-    def select(self, job: ProofJob) -> str:
-        """The node this job *would* go to (no bookkeeping)."""
+    def _candidates(self, exclude: Iterable[str]) -> list[str]:
+        blocked = self._down | set(exclude)
+        out = [n for n in self._node_ids if n not in blocked]
+        if not out:
+            raise NoRoutableNodeError(
+                "no routable node: "
+                f"{len(self._down)} down, excluded {sorted(set(exclude))}"
+            )
+        return out
+
+    def select(self, job: ProofJob, *, exclude: Iterable[str] = ()) -> str:
+        """The node this job *would* go to (no bookkeeping).
+
+        ``exclude`` temporarily bars specific nodes — the retry path
+        uses it so a requeued job cannot return to the node that lost
+        it, even if that node recovered in the meantime.
+        """
+        candidates = self._candidates(exclude)
         if self.policy == "round_robin":
-            return self._node_ids[self._rr_next % len(self._node_ids)]
+            return candidates[self._rr_next % len(candidates)]
         if self.policy == "affinity":
-            return self.ring.node_for(job.circuit_key)
+            return self.ring.node_for(job.circuit_key, exclude=exclude)
         # least_loaded: argmin outstanding, ties break by node id order
-        return min(self._node_ids, key=lambda n: (self.outstanding_s[n], n))
+        return min(candidates, key=lambda n: (self.outstanding.node_s(n), n))
 
-    def assign(self, job: ProofJob) -> str:
+    def assign(self, job: ProofJob, *, exclude: Iterable[str] = ()) -> str:
         """Route ``job``: pick a node and record its predicted cost."""
-        node_id = self.select(job)
+        node_id = self.select(job, exclude=exclude)
         if self.policy == "round_robin":
-            self._rr_next = (self._rr_next + 1) % len(self._node_ids)
-        self.outstanding_s[node_id] += self.job_cost_s(job)
+            self._rr_next = (self._rr_next + 1) % len(self._candidates(exclude))
+        self.outstanding.add(node_id, job)
         return node_id
 
     def release(self, node_id: str, cost_s: float | None = None) -> None:
         """Drop drained cost from ``node_id`` (all of it by default)."""
-        if node_id not in self.outstanding_s:
+        if node_id not in self.outstanding:
             raise KeyError(f"node {node_id!r} is not routed to")
-        if cost_s is None:
-            self.outstanding_s[node_id] = 0.0
-        else:
-            remaining = self.outstanding_s[node_id] - cost_s
-            self.outstanding_s[node_id] = max(0.0, remaining)
+        self.outstanding.release(node_id, cost_s)
 
     def __repr__(self):
         nodes = len(self._node_ids)

@@ -18,7 +18,11 @@ node keeps a model-time clock advanced by a :class:`FleetTimeModel`:
 This asymmetry is the serving story of the paper's fleet framing: an
 accelerated prove costs far less than rebuilding a circuit index on the
 host, so routing that preserves index-cache locality — affinity on the
-circuit fingerprint — dominates cost-blind sharding.  Install pricing
+circuit fingerprint — dominates cost-blind sharding.  It also prices
+node failure (DESIGN.md §8): a crash cold-starts the node's index
+cache, so the cost of a churn event is exactly the install seconds the
+recovered node re-pays on its post-crash misses — no separate restart
+constant is needed, the asymmetry *is* the failure cost.  Install pricing
 models a *cold* host commit (plain Pippenger per column, no warmed
 fixed-base tables), so in the ``functional`` preset installs land at a
 few tens of percent of busy time and the policy ranking flips: with
@@ -75,6 +79,7 @@ class FleetTimeModel:
 
     @classmethod
     def preset(cls, name: str) -> "FleetTimeModel":
+        """Resolve a :data:`TIME_MODEL_PRESETS` name to a model."""
         if name == "accelerator":
             return cls.accelerator()
         if name == "functional":

@@ -21,6 +21,7 @@ from repro.plan.cost import (
     CpuCostModel,
     FunctionalProverCostModel,
     HostIndexInstallModel,
+    OutstandingCost,
     PlanPrice,
     ShapeCostModel,
     phase_modmuls,
@@ -51,6 +52,7 @@ __all__ = [
     "HostIndexInstallModel",
     "MSMTask",
     "OPENCHECK_POINTS",
+    "OutstandingCost",
     "PHASE_KINDS",
     "PhaseCost",
     "PlanOps",

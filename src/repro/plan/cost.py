@@ -94,9 +94,11 @@ class PlanPrice:
 
     @property
     def total_s(self) -> float:
+        """Plain sum over phases (no overlap modelling)."""
         return sum(self.seconds.values())
 
     def as_dict(self) -> dict[str, float]:
+        """Seconds per phase, as a plain dict copy."""
         return dict(self.seconds)
 
 
@@ -112,14 +114,95 @@ class ShapeCostModel:
         self._cache: dict[tuple[str, int], float] = {}
 
     def plan_cost_s(self, plan: ProofPlan) -> float:  # pragma: no cover
+        """Price one plan in this model's seconds (subclass hook)."""
         raise NotImplementedError
 
     def shape_cost_s(self, gate_type_name: str, num_vars: int) -> float:
+        """Memoized :meth:`plan_cost_s` for a (gate type, μ) shape."""
         key = (gate_type_name, num_vars)
         if key not in self._cache:
             self._cache[key] = self.plan_cost_s(
                 hyperplonk_plan(gate_type_name, num_vars))
         return self._cache[key]
+
+
+class OutstandingCost:
+    """Predicted outstanding prove-seconds per node, from plan pricing.
+
+    The shared load signal of the fleet layer: the cluster router feeds
+    it on every assignment (``add``) and drains it on completion
+    (``release``), the ``least_loaded`` policy reads the per-node view,
+    and the autoscaler reads the fleet aggregate
+    (:meth:`mean_per_node_s`) to decide when predicted backlog per node
+    justifies scaling out.  Costs come from any
+    :class:`ShapeCostModel` via ``shape_cost_s`` and are therefore pure
+    functions of circuit shape — the signal is deterministic for a
+    deterministic job stream.
+    """
+
+    def __init__(self, model: ShapeCostModel):
+        self.model = model
+        self._per_node: dict[str, float] = {}
+
+    def track(self, node_id: str) -> None:
+        """Start tracking ``node_id`` (idempotent)."""
+        self._per_node.setdefault(node_id, 0.0)
+
+    def drop(self, node_id: str) -> None:
+        """Forget ``node_id`` and its outstanding cost entirely."""
+        self._per_node.pop(node_id, None)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._per_node
+
+    def job_cost_s(self, job) -> float:
+        """Predicted prove seconds for one job's circuit shape."""
+        circuit = job.circuit
+        return self.model.shape_cost_s(circuit.gate_type.name, circuit.num_vars)
+
+    def add(self, node_id: str, job) -> float:
+        """Charge ``job``'s predicted cost to ``node_id``; returns it."""
+        if node_id not in self._per_node:
+            raise KeyError(f"node {node_id!r} is not tracked")
+        cost = self.job_cost_s(job)
+        self._per_node[node_id] += cost
+        return cost
+
+    def release(self, node_id: str, cost_s: float | None = None) -> None:
+        """Drop drained cost from ``node_id`` (all of it by default)."""
+        if node_id not in self._per_node:
+            raise KeyError(f"node {node_id!r} is not tracked")
+        if cost_s is None:
+            self._per_node[node_id] = 0.0
+        else:
+            remaining = self._per_node[node_id] - cost_s
+            self._per_node[node_id] = max(0.0, remaining)
+
+    def node_s(self, node_id: str) -> float:
+        """Outstanding predicted seconds charged to ``node_id``."""
+        return self._per_node[node_id]
+
+    @property
+    def per_node_s(self) -> dict[str, float]:
+        """Outstanding predicted seconds per tracked node (a copy)."""
+        return dict(self._per_node)
+
+    @property
+    def total_s(self) -> float:
+        """Fleet-wide outstanding predicted seconds."""
+        return sum(self._per_node.values())
+
+    def mean_per_node_s(self) -> float:
+        """The autoscaler signal: total outstanding over tracked nodes."""
+        if not self._per_node:
+            return 0.0
+        return self.total_s / len(self._per_node)
+
+    def __repr__(self):
+        return (
+            f"OutstandingCost(nodes={len(self._per_node)}, "
+            f"total={self.total_s:.4f}s)"
+        )
 
 
 class FunctionalProverCostModel(ShapeCostModel):
@@ -142,6 +225,7 @@ class FunctionalProverCostModel(ShapeCostModel):
         self.s_per_modmul = s_per_modmul
 
     def plan_cost_s(self, plan: ProofPlan) -> float:
+        """Total plan modmuls at the fitted per-modmul rate."""
         return sum(plan_modmuls(plan).values()) * self.s_per_modmul
 
     def calibrated(self, shape_seconds: list[tuple[str, int, float]]
@@ -187,6 +271,7 @@ class HostIndexInstallModel(ShapeCostModel):
         self.s_per_modmul = s_per_modmul
 
     def plan_cost_s(self, plan: ProofPlan) -> float:
+        """Preprocessing MSM modmuls at host-CPU rates."""
         return preprocess_modmuls(plan) * self.s_per_modmul
 
 
@@ -198,6 +283,7 @@ class AcceleratorCostModel(ShapeCostModel):
         self.model = model  # a repro.hw.accelerator.ZkPhireModel
 
     def plan_cost_s(self, plan: ProofPlan) -> float:
+        """Accelerator latency with the masked overlap schedule."""
         return self.model.price(plan).total
 
 
@@ -212,4 +298,5 @@ class CpuCostModel(ShapeCostModel):
         self.model = model
 
     def plan_cost_s(self, plan: ProofPlan) -> float:
+        """Analytic CPU seconds, summed over phases."""
         return self.model.price(plan).total_s

@@ -30,14 +30,17 @@ class TermProfile:
 
     @property
     def degree(self) -> int:
+        """Total degree of the term (sum of factor powers)."""
         return sum(p for _, p in self.factors)
 
     @property
     def distinct(self) -> int:
+        """Number of distinct MLEs multiplied in this term."""
         return len(self.factors)
 
     @property
     def names(self) -> tuple[str, ...]:
+        """The term's MLE names, in factor order."""
         return tuple(n for n, _ in self.factors)
 
 
@@ -61,10 +64,12 @@ class PolyProfile:
 
     @property
     def degree(self) -> int:
+        """Degree of the composite: the largest term degree."""
         return max(t.degree for t in self.terms)
 
     @property
     def unique_mles(self) -> list[str]:
+        """Distinct constituent MLE names, first-seen order."""
         seen: dict[str, None] = {}
         for t in self.terms:
             for n, _ in t.factors:
@@ -73,15 +78,19 @@ class PolyProfile:
 
     @property
     def has_fr(self) -> bool:
+        """True when the ZeroCheck randomizer participates."""
         return FR_NAME in self.unique_mles
 
     @classmethod
     def from_gate(cls, spec: GateSpec) -> "PolyProfile":
+        """Profile a Table-I gate spec (selector classes included)."""
         return cls.from_compiled(spec.compiled, selector_names=spec.selector_names)
 
     @classmethod
     def from_compiled(cls, compiled: CompiledGate,
                       selector_names: Sequence[str] = ()) -> "PolyProfile":
+        """Profile a compiled gate expression, classifying each MLE as
+        ``selector`` / ``sparse`` / ``dense`` for the traffic model."""
         terms = [TermProfile(m.factors) for m in compiled.monomials]
         classes: dict[str, str] = {}
         for name in compiled.mle_names:

@@ -14,8 +14,10 @@ The plan layer sits between the gate library / scheduler profiles and
 every consumer: ``repro.hw`` prices plans in accelerator or CPU seconds,
 ``repro.service`` schedules jobs by plan cost, and ``repro.workloads``
 annotates traffic scenarios with expected per-job cost.  It depends only
-on :mod:`repro.gates` and the :class:`~repro.hw.scheduler.PolyProfile`
-vocabulary — never on the models that consume it.
+on :mod:`repro.gates` and the
+:class:`~repro.plan.profiles.PolyProfile` vocabulary (born in
+``repro.hw.scheduler``, which still re-exports it) — never on the
+models that consume it.
 
 Semantic anchor: :meth:`ProofPlan.predicted_prover_ops` states, in
 closed form, exactly which operation tallies an instrumented
@@ -177,18 +179,22 @@ class ProofPlan:
     # -- shape -------------------------------------------------------------
     @property
     def gate_type(self) -> GateType:
+        """The resolved :class:`GateType` (vanilla / jellyfish / …)."""
         return gate_type_by_name(self.gate_type_name)
 
     @property
     def num_gates(self) -> int:
+        """Gate count N = 2^μ."""
         return 1 << self.num_vars
 
     @property
     def num_witnesses(self) -> int:
+        """Witness columns k of the gate type."""
         return self.gate_type.num_witnesses
 
     @property
     def num_selectors(self) -> int:
+        """Selector columns s of the gate type."""
         return len(self.gate_type.selector_names)
 
     @property
@@ -205,6 +211,7 @@ class ProofPlan:
 
     # -- access ------------------------------------------------------------
     def phase(self, name: str) -> PhaseCost:
+        """Look up one phase by name (KeyError with the valid names)."""
         for phase in self.phases:
             if phase.name == name:
                 return phase
@@ -281,15 +288,19 @@ class ProofPlan:
     @classmethod
     def for_shape(cls, gate_type_name: str, num_vars: int,
                   custom_zerocheck: PolyProfile | None = None) -> "ProofPlan":
+        """The canonical plan for a (gate type, μ) shape; see
+        :func:`hyperplonk_plan`."""
         return hyperplonk_plan(gate_type_name, num_vars,
                                custom_zerocheck=custom_zerocheck)
 
     @classmethod
     def from_circuit(cls, circuit: "Circuit") -> "ProofPlan":
+        """The plan for a built circuit (shape only; witness ignored)."""
         return hyperplonk_plan(circuit.gate_type.name, circuit.num_vars)
 
     @classmethod
     def from_index(cls, index: "ProverIndex") -> "ProofPlan":
+        """The plan for a preprocessed prover index."""
         return hyperplonk_plan(index.gate_type.name, index.num_vars)
 
 

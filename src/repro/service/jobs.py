@@ -60,6 +60,12 @@ class ProofJob:
     submitted_s: float = 0.0
     #: predicted prove seconds, stamped by the service's cost model
     predicted_cost_s: float | None = None
+    #: retry ordinal: 0 on first dispatch, bumped by the cluster's
+    #: failure-aware engine each time a node loss requeues this job
+    attempt: int = 0
+    #: nodes that crashed while holding this job; the retry router
+    #: never sends the job back to one of them (ISSUE 5)
+    excluded_node_ids: tuple[str, ...] = ()
 
     def __post_init__(self):
         if not self.circuit_key:

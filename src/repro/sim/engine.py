@@ -1,0 +1,139 @@
+"""A minimal discrete-event simulation core: heap, clock, handles.
+
+The cluster layer needs to interleave job completions, node crashes,
+recoveries, and autoscaler ticks on one model-time axis.  This module is
+the smallest engine that does that deterministically:
+
+* :class:`Simulator` — a binary-heap event queue plus a model clock.
+  Events fire in ``(time, priority, sequence)`` order, so ties at one
+  model time break first by an explicit priority and then by scheduling
+  order — never by dict iteration or object identity, which is what
+  keeps whole-fleet runs reproducible across interpreters.
+* :class:`EventHandle` — returned by every ``schedule*`` call; lazily
+  cancellable, which is how an in-flight job-finish event is voided when
+  its node crashes first.
+
+The engine knows nothing about clusters or jobs; callbacks close over
+whatever state they drive.  Seeded *sources* of event streams live in
+:mod:`repro.sim.sources`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+#: default event priority; lower fires first among same-time events
+DEFAULT_PRIORITY = 0
+
+
+class EventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "priority", "seq", "action", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Void the event; it stays in the heap but will not fire."""
+        self.cancelled = True
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class Simulator:
+    """A discrete-event loop over one model-time clock.
+
+    Schedule callbacks with :meth:`schedule` (absolute time) or
+    :meth:`schedule_after` (relative delay), then :meth:`run` until the
+    heap drains or a horizon is reached.  Callbacks may schedule further
+    events; scheduling into the past raises.
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        self.now = start_s
+        self._heap: list[tuple[float, int, int, EventHandle]] = []
+        self._seq = 0
+        #: events fired so far (cancelled events excluded)
+        self.fired = 0
+
+    def __len__(self) -> int:
+        return sum(1 for *_, h in self._heap if not h.cancelled)
+
+    def schedule(
+        self,
+        at_s: float,
+        action: Callable[[], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``action`` at absolute model time ``at_s``."""
+        if at_s < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (now={self.now}, at={at_s})"
+            )
+        handle = EventHandle(at_s, priority, self._seq, action)
+        heapq.heappush(self._heap, (at_s, priority, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def schedule_after(
+        self,
+        delay_s: float,
+        action: Callable[[], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> EventHandle:
+        """Schedule ``action`` ``delay_s`` model seconds from now."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_s}")
+        return self.schedule(self.now + delay_s, action, priority=priority)
+
+    def peek_time(self) -> float | None:
+        """Model time of the next live event (None if the heap is empty)."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next live event; False when nothing is left."""
+        while self._heap:
+            _, _, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            self.fired += 1
+            handle.action()
+            return True
+        return False
+
+    def run(self, until_s: float | None = None) -> float:
+        """Fire events until the heap drains (or past ``until_s``).
+
+        Returns the final model time.  With ``until_s``, events at
+        exactly ``until_s`` still fire; later ones stay queued.
+        """
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return self.now
+            if until_s is not None and next_time > until_s:
+                self.now = until_s
+                return self.now
+            self.step()
+
+    def __repr__(self):
+        return f"Simulator(now={self.now:.6f}, queued={len(self)})"

@@ -1,0 +1,107 @@
+"""Seeded event sources: deterministic streams of timed payloads.
+
+An :class:`EventSource` yields ``(at_s, payload)`` pairs in
+non-decreasing time order; :func:`install` pumps any source into a
+:class:`~repro.sim.engine.Simulator` by scheduling one event per pair.
+Two concrete sources cover the cluster layer's needs:
+
+* :class:`TraceSource` — replays a pre-computed trace (e.g. a churn
+  trace from :mod:`repro.workloads.churn`), so a scenario is exactly
+  reproducible from its recorded event list;
+* :class:`PoissonSource` — draws exponential inter-arrival times from a
+  seeded :class:`random.Random`, for open-ended load or fault processes.
+
+Sources never touch global RNG state: every stream is a pure function
+of its constructor arguments, which is what makes same-seed cluster
+scenarios bit-for-bit repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Iterator
+
+from repro.sim.engine import DEFAULT_PRIORITY, EventHandle, Simulator
+
+
+class EventSource:
+    """Base class: an iterable of ``(at_s, payload)`` pairs."""
+
+    def events(self) -> Iterator[tuple[float, object]]:
+        """Yield ``(model time, payload)`` in non-decreasing time order."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[tuple[float, object]]:
+        return self.events()
+
+
+class TraceSource(EventSource):
+    """Replays a fixed ``(at_s, payload)`` trace, sorted by time."""
+
+    def __init__(self, trace: Iterable[tuple[float, object]]):
+        self.trace = sorted(trace, key=lambda pair: pair[0])
+
+    def events(self) -> Iterator[tuple[float, object]]:
+        """Replay the trace in time order."""
+        yield from self.trace
+
+    def __len__(self) -> int:
+        return len(self.trace)
+
+
+class PoissonSource(EventSource):
+    """Seeded Poisson process emitting ``payload_fn(i)`` at each arrival.
+
+    Arrivals start at ``start_s`` and stop at ``horizon_s`` (exclusive);
+    ``rate_rps`` is the mean number of events per model second.
+    """
+
+    def __init__(
+        self,
+        rate_rps: float,
+        horizon_s: float,
+        *,
+        seed: int = 0,
+        start_s: float = 0.0,
+        payload_fn: Callable[[int], object] = lambda i: i,
+    ):
+        if rate_rps <= 0:
+            raise ValueError(f"rate_rps must be > 0, got {rate_rps}")
+        if horizon_s < start_s:
+            raise ValueError("horizon_s must be >= start_s")
+        self.rate_rps = rate_rps
+        self.horizon_s = horizon_s
+        self.seed = seed
+        self.start_s = start_s
+        self.payload_fn = payload_fn
+
+    def events(self) -> Iterator[tuple[float, object]]:
+        """Draw the arrival stream (fresh RNG per call: re-iterable)."""
+        rng = random.Random(self.seed)
+        t = self.start_s
+        i = 0
+        while True:
+            t += rng.expovariate(self.rate_rps)
+            if t >= self.horizon_s:
+                return
+            yield (t, self.payload_fn(i))
+            i += 1
+
+
+def install(
+    sim: Simulator,
+    source: EventSource,
+    handler: Callable[[object], None],
+    *,
+    priority: int = DEFAULT_PRIORITY,
+) -> list[EventHandle]:
+    """Schedule every event of ``source`` onto ``sim``.
+
+    Each ``(at_s, payload)`` pair becomes one simulator event calling
+    ``handler(payload)``; the handles are returned so a scenario can
+    cancel the remainder of a stream mid-run.
+    """
+    return [
+        sim.schedule(at_s, (lambda p=payload: handler(p)), priority=priority)
+        for at_s, payload in source
+    ]

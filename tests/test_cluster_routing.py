@@ -111,6 +111,33 @@ class TestHashRing:
             counts[ring.node_for(key)] += 1
         assert all(count > 0 for count in counts.values())
 
+    def test_exclude_only_diverts_the_excluded_nodes_keys(self):
+        """Consistent-hash failover: excluding a node mid-stream moves
+        exactly its keys, each to the key's next clockwise owner —
+        identical to the placement with the node removed outright."""
+        ring = HashRing(NODE_IDS)
+        before = {key: ring.node_for(key) for key in KEYS}
+        failed = "node-2"
+        with_exclude = {
+            key: ring.node_for(key, exclude={failed}) for key in KEYS
+        }
+        removed_ring = HashRing(NODE_IDS)
+        removed_ring.remove_node(failed)
+        removed = {key: removed_ring.node_for(key) for key in KEYS}
+        assert with_exclude == removed
+        for key in KEYS:
+            if before[key] != failed:
+                assert with_exclude[key] == before[key]
+            else:
+                assert with_exclude[key] != failed
+
+    def test_exclude_everything_raises(self):
+        from repro.cluster import NoRoutableNodeError
+
+        ring = HashRing(NODE_IDS)
+        with pytest.raises(NoRoutableNodeError):
+            ring.node_for("k", exclude=set(NODE_IDS))
+
 
 class TestClusterRouter:
     def test_unknown_policy_rejected(self):
@@ -166,6 +193,57 @@ class TestClusterRouter:
         assert router.outstanding_s[node_id] > 0
         router.release(node_id)
         assert router.outstanding_s[node_id] == 0.0
+
+    def test_mark_down_skips_node_and_mark_up_restores_placement(self):
+        """A down node receives nothing under any policy, only its ~K/N
+        keys remap, and recovery restores the original placement."""
+        for policy in ("round_robin", "least_loaded", "affinity"):
+            router = ClusterRouter(policy, NODE_IDS)
+            before = {
+                i: router.ring.node_for(f"key-{i}") for i in range(64)
+            }
+            router.mark_down("node-1")
+            assert router.up_node_ids == ["node-0", "node-2", "node-3"]
+            assert router.down_node_ids == ["node-1"]
+            for i in range(24):
+                assert router.assign(make_job(i, log2=3 + i % 4)) != "node-1"
+            router.mark_up("node-1")
+            after = {i: router.ring.node_for(f"key-{i}") for i in range(64)}
+            assert after == before
+
+    def test_mark_down_twice_and_unknown_rejected(self):
+        router = ClusterRouter("affinity", NODE_IDS)
+        router.mark_down("node-0")
+        with pytest.raises(ValueError):
+            router.mark_down("node-0")
+        with pytest.raises(KeyError):
+            router.mark_down("ghost")
+        with pytest.raises(ValueError):
+            router.mark_up("node-1")
+        router.mark_up("node-0")
+
+    def test_assign_exclude_respected(self):
+        from repro.cluster import NoRoutableNodeError
+
+        for policy in ("round_robin", "least_loaded", "affinity"):
+            router = ClusterRouter(policy, NODE_IDS)
+            for i in range(16):
+                job = make_job(i, log2=3 + i % 4)
+                chosen = router.assign(job, exclude=("node-0", "node-2"))
+                assert chosen in ("node-1", "node-3")
+            with pytest.raises(NoRoutableNodeError):
+                router.assign(make_job(99), exclude=tuple(NODE_IDS))
+
+    def test_whole_fleet_may_be_down(self):
+        from repro.cluster import NoRoutableNodeError
+
+        router = ClusterRouter("affinity", ["node-0", "node-1"])
+        router.mark_down("node-0")
+        router.mark_down("node-1")
+        with pytest.raises(NoRoutableNodeError):
+            router.select(make_job(0))
+        router.mark_up("node-0")
+        assert router.select(make_job(0)) == "node-0"
 
     def test_membership_changes(self):
         router = ClusterRouter("affinity", ["node-0"])

@@ -1,0 +1,125 @@
+"""Contracts of the discrete-event core (`repro.sim`).
+
+The cluster engine's determinism rests on three properties locked here:
+total event order ``(time, priority, sequence)``, lazy cancellation
+(a cancelled handle never fires, even if already heaped), and seeded
+event sources that are pure functions of their constructor arguments.
+"""
+
+import pytest
+
+from repro.sim import PoissonSource, Simulator, TraceSource, install
+
+
+class TestSimulator:
+    def test_fires_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(2.0, lambda: fired.append("b"))
+        end = sim.run()
+        assert fired == ["a", "b", "c"]
+        assert end == 3.0
+        assert sim.fired == 3
+
+    def test_ties_break_by_priority_then_sequence(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("late"), priority=5)
+        sim.schedule(1.0, lambda: fired.append("first"), priority=0)
+        sim.schedule(1.0, lambda: fired.append("second"), priority=0)
+        sim.run()
+        assert fired == ["first", "second", "late"]
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule_after(1.0, lambda: chain(n + 1))
+
+        sim.schedule(0.0, lambda: chain(0))
+        assert sim.run() == 3.0
+        assert fired == [0, 1, 2, 3]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator(start_s=5.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(4.0, lambda: None)
+        with pytest.raises(ValueError, match=">= 0"):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_cancelled_events_never_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("cancelled"))
+        sim.schedule(2.0, lambda: fired.append("kept"))
+        handle.cancel()
+        sim.run()
+        assert fired == ["kept"]
+        assert sim.fired == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        handle.cancel()
+        assert sim.peek_time() == 2.0
+        assert len(sim) == 1
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.schedule(3.0, lambda: fired.append(3))
+        assert sim.run(until_s=2.0) == 2.0
+        assert fired == [1, 2]
+        assert sim.run() == 3.0  # the rest still fires
+        assert fired == [1, 2, 3]
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+
+class TestSources:
+    def test_trace_source_sorts_by_time(self):
+        source = TraceSource([(2.0, "b"), (1.0, "a"), (3.0, "c")])
+        assert [p for _, p in source] == ["a", "b", "c"]
+        assert len(source) == 3
+
+    def test_poisson_source_deterministic_per_seed(self):
+        first = list(PoissonSource(4.0, 10.0, seed=7))
+        second = list(PoissonSource(4.0, 10.0, seed=7))
+        other = list(PoissonSource(4.0, 10.0, seed=8))
+        assert first == second
+        assert first != other
+        assert all(0.0 <= t < 10.0 for t, _ in first)
+        times = [t for t, _ in first]
+        assert times == sorted(times)
+
+    def test_poisson_source_validates(self):
+        with pytest.raises(ValueError):
+            PoissonSource(0.0, 10.0)
+        with pytest.raises(ValueError):
+            PoissonSource(1.0, -1.0)
+
+    def test_install_pumps_source_into_simulator(self):
+        sim = Simulator()
+        seen = []
+        handles = install(sim, TraceSource([(1.0, "x"), (2.0, "y")]), seen.append)
+        assert len(handles) == 2
+        sim.run()
+        assert seen == ["x", "y"]
+
+    def test_install_handles_are_cancellable(self):
+        sim = Simulator()
+        seen = []
+        handles = install(sim, TraceSource([(1.0, "x"), (2.0, "y")]), seen.append)
+        handles[1].cancel()
+        sim.run()
+        assert seen == ["x"]

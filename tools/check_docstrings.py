@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Docstring-coverage ratchet for the documented packages.
+
+Walks the given source trees with :mod:`ast` (no imports, so it runs
+anywhere) and counts docstrings on every *public* definition: modules,
+classes, functions, and methods whose names don't start with ``_``
+(dunders excluded, ``__init__`` exempted — its contract belongs on the
+class).  CI fails the build when coverage on the ratcheted packages
+(``repro.cluster``, ``repro.plan``, ``repro.sim`` — see the docs job)
+drops below ``--min``.
+
+Usage::
+
+    python tools/check_docstrings.py src/repro/cluster src/repro/plan \
+        src/repro/sim --min 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+
+DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+#: statement containers whose bodies still count as module/class level
+#: (a public def under ``if sys.version_info`` or ``try/except
+#: ImportError`` is public API and must not slip past the ratchet)
+BLOCKS = (ast.If, ast.Try, ast.With, ast.For, ast.While)
+
+
+def is_public(name: str) -> bool:
+    """Public = no leading underscore (``__init__`` is class-covered)."""
+    return not name.startswith("_")
+
+
+def walk_definitions(tree: ast.Module, module_label: str):
+    """Yield ``(label, node)`` for the module and each public def.
+
+    Descends through conditional/try blocks at module and class level
+    but never into function bodies — nested functions are
+    implementation detail, not public API.
+    """
+    yield module_label, tree
+
+    def visit(node, prefix: str):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, BLOCKS):
+                yield from visit(child, prefix)
+                continue
+            if not isinstance(child, DEFS):
+                continue
+            if not is_public(child.name):
+                continue
+            label = f"{prefix}.{child.name}"
+            yield label, child
+            if isinstance(child, ast.ClassDef):
+                yield from visit(child, label)
+
+    yield from visit(tree, module_label)
+
+
+def scan(paths: list[Path]) -> tuple[list[str], int]:
+    """Return (undocumented labels, total public definitions)."""
+    missing: list[str] = []
+    total = 0
+    for root in paths:
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for path in files:
+            tree = ast.parse(path.read_text(), filename=str(path))
+            module_label = str(path)
+            for label, node in walk_definitions(tree, module_label):
+                total += 1
+                if ast.get_docstring(node) is None:
+                    missing.append(label)
+    return missing, total
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when public-API docstring coverage drops "
+        "below the ratchet."
+    )
+    parser.add_argument("paths", nargs="+", type=Path, help="files or trees")
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=100.0,
+        help="minimum coverage percent (default 100)",
+    )
+    args = parser.parse_args(argv)
+    for path in args.paths:
+        if not path.exists():
+            parser.error(f"no such path: {path}")
+    missing, total = scan(args.paths)
+    documented = total - len(missing)
+    coverage = 100.0 * documented / total if total else 100.0
+    print(f"docstring coverage: {documented}/{total} ({coverage:.1f}%)")
+    if coverage < args.min:
+        print(f"\nbelow the {args.min:.1f}% ratchet; undocumented:")
+        for label in missing:
+            print(f"  - {label}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
