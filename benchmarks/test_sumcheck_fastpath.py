@@ -1,14 +1,18 @@
 """Fast-path SumCheck benchmark + ``BENCH_sumcheck.json`` emitter.
 
-Times the reference scalar prover against the ``fused`` field-vector
-backend on paper gates at increasing μ, asserts the proofs stay
-bit-identical, and records the measured trajectory into
-``BENCH_sumcheck.json`` at the repo root so every future PR can see
-whether the fast path regressed.
+Times the reference scalar prover against every registered fast backend
+(``fused``, and ``array`` when numpy is present) on paper gates at
+increasing μ, asserts the proofs stay bit-identical, and records the
+measured trajectory into ``BENCH_sumcheck.json`` at the repo root so
+every future PR can see whether the fast path regressed.
 
 The acceptance row is the vanilla-PLONK gate at μ = 12, which must show
-at least a 2× speedup (ISSUE 1; the fused backend currently lands ~3×,
-and the high-degree Jellyfish gate ~2×).
+at least a 2× speedup for ``fused`` (ISSUE 1; currently ~3×) and at
+least 1.5× for ``array`` (ISSUE 6's 10× target over fused is not
+reachable in pure Python — the 255-bit modmul floor dominates; the
+array backend lands ~2.4× over reference, i.e. roughly fused parity at
+μ = 12 and ~0.75× fused at μ = 16, recorded honestly here and discussed
+in DESIGN.md §9).
 """
 
 import json
@@ -18,7 +22,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.fields import Fr
+from repro.fields import Fr, list_backends
 from repro.gates import gate_by_id
 from repro.mle import DenseMLE, VirtualPolynomial
 from repro.sumcheck import FastSumCheckProver, Transcript, prove_sumcheck
@@ -26,13 +30,17 @@ from repro.sumcheck import FastSumCheckProver, Transcript, prove_sumcheck
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_sumcheck.json"
 
 SPEEDUP_FLOOR_MU12 = 2.0
+ARRAY_SPEEDUP_FLOOR_MU12 = 1.5
 
-#: (row name, gate id, μ, whether the ≥2× acceptance floor applies)
+HAVE_ARRAY = "array" in list_backends()
+
+#: (row name, gate id, μ, whether the acceptance floors apply)
 BENCH_MATRIX = [
     ("vanilla-mu8", 20, 8, False),
     ("vanilla-mu10", 20, 10, False),
     ("vanilla-mu12", 20, 12, True),
     ("jellyfish-mu12", 22, 12, False),
+    ("vanilla-mu16", 20, 16, False),
 ]
 
 
@@ -64,9 +72,16 @@ def run_fastpath_benchmark(matrix=BENCH_MATRIX, repeats: int = 2) -> list[dict]:
     rows = []
     for name, gate_id, mu, is_acceptance in matrix:
         vp = build_gate_vp(gate_id, mu)
-        claim = vp.sum_over_hypercube()
+        # the claim only feeds the transcript (every prover absorbs the
+        # same value), so large rows pin it to 0 rather than paying a
+        # 2^μ hypercube sum, and time the slow reference prover
+        # best-of-1 to bound suite runtime (the fast backends keep full
+        # repeats: their mutual ratio is what the bench gate compares)
+        big = mu >= 16
+        claim = 0 if big else vp.sum_over_hypercube()
+        n = 1 if big else repeats
         ref_s, ref_proof = time_best(
-            lambda: prove_sumcheck(vp, Transcript(Fr), claim=claim), repeats
+            lambda: prove_sumcheck(vp, Transcript(Fr), claim=claim), n
         )
         fused_s, fused_proof = time_best(
             lambda: FastSumCheckProver("fused").prove(
@@ -77,20 +92,32 @@ def run_fastpath_benchmark(matrix=BENCH_MATRIX, repeats: int = 2) -> list[dict]:
         assert fused_proof.round_evals == ref_proof.round_evals
         assert fused_proof.challenges == ref_proof.challenges
         assert fused_proof.final_evals == ref_proof.final_evals
-        rows.append(
-            {
-                "name": name,
-                "gate_id": gate_id,
-                "mu": mu,
-                "degree": vp.degree,
-                "num_mles": len(vp.mles),
-                "num_terms": len(vp.terms),
-                "reference_s": round(ref_s, 6),
-                "fused_s": round(fused_s, 6),
-                "speedup": round(ref_s / fused_s, 3),
-                "acceptance_row": is_acceptance,
-            }
-        )
+        row = {
+            "name": name,
+            "gate_id": gate_id,
+            "mu": mu,
+            "degree": vp.degree,
+            "num_mles": len(vp.mles),
+            "num_terms": len(vp.terms),
+            "reference_s": round(ref_s, 6),
+            "fused_s": round(fused_s, 6),
+            "speedup": round(ref_s / fused_s, 3),
+            "acceptance_row": is_acceptance,
+        }
+        if HAVE_ARRAY:
+            array_s, array_proof = time_best(
+                lambda: FastSumCheckProver("array").prove(
+                    vp, Transcript(Fr), claim=claim
+                ),
+                repeats,
+            )
+            assert array_proof.round_evals == ref_proof.round_evals
+            assert array_proof.challenges == ref_proof.challenges
+            assert array_proof.final_evals == ref_proof.final_evals
+            row["array_s"] = round(array_s, 6)
+            row["array_speedup"] = round(ref_s / array_s, 3)
+            row["array_vs_fused"] = round(fused_s / array_s, 3)
+        rows.append(row)
     return rows
 
 
@@ -106,6 +133,7 @@ def emit_bench_json(rows: list[dict], path: Path = BENCH_PATH) -> dict:
         "unit": "seconds",
         "backend": "fused",
         "speedup_floor_mu12": SPEEDUP_FLOOR_MU12,
+        "array_speedup_floor_mu12": ARRAY_SPEEDUP_FLOOR_MU12,
         "rows": rows,
     }
     if not path.exists() or os.environ.get("BENCH_SUMCHECK_EMIT") == "1":
@@ -121,8 +149,11 @@ class TestSumCheckFastPath:
         emit_bench_json(rows)
         acceptance = [r for r in rows if r["acceptance_row"]]
         assert acceptance, "benchmark matrix lost its acceptance row"
+        floors = [("speedup", SPEEDUP_FLOOR_MU12)]
+        if HAVE_ARRAY:
+            floors.append(("array_speedup", ARRAY_SPEEDUP_FLOOR_MU12))
         for row in acceptance:
-            if row["speedup"] >= SPEEDUP_FLOOR_MU12:
+            if all(row[key] >= floor for key, floor in floors):
                 continue
             # wall-clock ratios can wobble on loaded machines; re-measure
             # the failing row once with more repeats before declaring a
@@ -133,11 +164,12 @@ class TestSumCheckFastPath:
                 ],
                 repeats=4,
             )[0]
-            assert retry["speedup"] >= SPEEDUP_FLOOR_MU12, (
-                f"fast path regressed: {retry['name']} speedup "
-                f"{retry['speedup']}x < {SPEEDUP_FLOOR_MU12}x "
-                f"(first attempt {row['speedup']}x)"
-            )
+            for key, floor in floors:
+                assert retry[key] >= floor, (
+                    f"fast path regressed: {retry['name']} {key} "
+                    f"{retry[key]}x < {floor}x "
+                    f"(first attempt {row[key]}x)"
+                )
 
     def test_smoke_small_mu(self):
         """Cheap CI smoke: one small instance end-to-end, no JSON write."""
@@ -148,12 +180,15 @@ class TestSumCheckFastPath:
 
 
 @pytest.mark.parametrize("gate_id", [20, 22])
-def test_bench_fused_sumcheck(benchmark, gate_id):
-    """pytest-benchmark row for the fused prover (mirrors the reference
+@pytest.mark.parametrize(
+    "backend", [b for b in list_backends() if b != "reference"]
+)
+def test_bench_fast_sumcheck(benchmark, backend, gate_id):
+    """pytest-benchmark row per fast backend (mirrors the reference
     rows in test_kernel_benchmarks.py, small μ to keep the suite quick)."""
     vp = build_gate_vp(gate_id, 6)
     claim = vp.sum_over_hypercube()
-    prover = FastSumCheckProver("fused")
+    prover = FastSumCheckProver(backend)
     benchmark.pedantic(
         lambda: prover.prove(vp, Transcript(Fr), claim=claim),
         rounds=1,

@@ -11,6 +11,20 @@ import argparse
 import math
 
 
+def backend_choices() -> list[str]:
+    """Live field-vector backend names for ``--backend`` choices.
+
+    Sourced from the registry at parser-build time so optional backends
+    (numpy ``array``, gmpy2 ``gmp``) are offered exactly when their
+    dependencies import — a hardcoded list would either hide them or
+    advertise unavailable ones.  Bad values still exit 2 via argparse's
+    ``choices`` machinery.
+    """
+    from repro.fields.vector import list_backends
+
+    return list_backends()
+
+
 def positive_int(text: str) -> int:
     try:
         value = int(text)

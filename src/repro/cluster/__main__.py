@@ -21,6 +21,7 @@ import json
 import sys
 
 from repro.cli import (
+    backend_choices,
     cache_capacity,
     int_list,
     nonnegative_float,
@@ -191,6 +192,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="really prove on every node (slow; adds measured stats)",
     )
     parser.add_argument(
+        "--backend",
+        default="fused",
+        choices=backend_choices(),
+        help="field-vector backend for execute-mode proving "
+        "(registry-sourced; optional backends appear when installed)",
+    )
+    parser.add_argument(
         "--respect-arrivals",
         action="store_true",
         help="let node clocks idle until each job's model-time arrival "
@@ -234,6 +242,7 @@ def run_cell(args, num_nodes: int, policy: str) -> dict:
         node=NodeConfig(
             cache_capacity=args.cache_capacity,
             max_vars=generator.max_vars(),
+            default_backend=args.backend,
             wave_s=args.wave_s or None,
         ),
     )

@@ -15,8 +15,8 @@ zkPHIRE operates over the BLS12-381 curve: the scalar field ``Fr``
   used to validate the hardware performance model against functional runs,
 * :mod:`~repro.fields.vector` — batched field-vector kernels
   (:class:`~repro.fields.vector.FieldVec`) behind a pluggable backend
-  registry (``reference`` / ``fused``), the substrate of the fast-path
-  SumCheck prover.
+  registry (``reference`` / ``fused`` / numpy-limb ``array`` / optional
+  ``gmp``), the substrate of the fast-path SumCheck prover.
 """
 
 from repro.fields.prime_field import Felt, PrimeField, batch_inverse
@@ -24,13 +24,17 @@ from repro.fields.bls12_381 import FQ_MODULUS, FR_MODULUS, Fq, Fr
 from repro.fields.montgomery import MontgomeryContext
 from repro.fields.counters import OpCounter
 from repro.fields.vector import (
+    BackendUnavailable,
     FieldVec,
     FusedBackend,
     ReferenceBackend,
     VectorBackend,
     available_backends,
     get_backend,
+    list_backends,
     register_backend,
+    set_default_backend,
+    unavailable_backends,
     window_decompose,
 )
 
@@ -48,7 +52,11 @@ __all__ = [
     "VectorBackend",
     "ReferenceBackend",
     "FusedBackend",
+    "BackendUnavailable",
     "available_backends",
+    "list_backends",
+    "unavailable_backends",
+    "set_default_backend",
     "get_backend",
     "register_backend",
     "window_decompose",

@@ -26,6 +26,7 @@ class OpCounter:
     labels: dict[str, int] = field(default_factory=dict)
 
     def count_mul(self, n: int = 1, kind: str | None = None) -> None:
+        """Record ``n`` modmuls (kind ``ee`` or ``pl``)."""
         self.mul += n
         if kind == "ee":
             self.ee_mul += n
@@ -33,9 +34,11 @@ class OpCounter:
             self.pl_mul += n
 
     def count_add(self, n: int = 1) -> None:
+        """Record ``n`` modular additions."""
         self.add += n
 
     def count_inv(self, n: int = 1) -> None:
+        """Record ``n`` modular inversions."""
         self.inv += n
 
     def bump(self, label: str, n: int = 1) -> None:
@@ -43,6 +46,7 @@ class OpCounter:
         self.labels[label] = self.labels.get(label, 0) + n
 
     def merged(self, other: "OpCounter") -> "OpCounter":
+        """A new counter summing both tallies."""
         out = OpCounter(
             mul=self.mul + other.mul,
             add=self.add + other.add,
@@ -56,5 +60,6 @@ class OpCounter:
         return out
 
     def reset(self) -> None:
+        """Zero every tally and clear the labels."""
         self.mul = self.add = self.inv = self.ee_mul = self.pl_mul = 0
         self.labels.clear()

@@ -150,43 +150,54 @@ class PrimeField:
 
     @property
     def zero(self) -> Felt:
+        """The additive identity as a :class:`Felt`."""
         return self._zero
 
     @property
     def one(self) -> Felt:
+        """The multiplicative identity as a :class:`Felt`."""
         return self._one
 
     def rand(self, rng: random.Random | None = None) -> Felt:
+        """A uniform random :class:`Felt` from ``rng``."""
         rng = rng or random
         return Felt(self, rng.randrange(self.modulus))
 
     def rand_int(self, rng: random.Random | None = None) -> int:
+        """A uniform random integer in ``[0, p)``."""
         rng = rng or random
         return rng.randrange(self.modulus)
 
     def elements(self, values: Iterable[int]) -> list[Felt]:
+        """Wrap each integer as a :class:`Felt`."""
         return [Felt(self, v) for v in values]
 
     # -- raw integer arithmetic ------------------------------------------
     def add(self, a: int, b: int) -> int:
+        """``(a + b) mod p`` on canonical integers."""
         s = a + b
         p = self.modulus
         return s - p if s >= p else s
 
     def sub(self, a: int, b: int) -> int:
+        """``(a - b) mod p`` on canonical integers."""
         d = a - b
         return d + self.modulus if d < 0 else d
 
     def mul(self, a: int, b: int) -> int:
+        """``(a * b) mod p`` on canonical integers."""
         return a * b % self.modulus
 
     def neg(self, a: int) -> int:
+        """``(-a) mod p`` on a canonical integer."""
         return self.modulus - a if a else 0
 
     def pow(self, a: int, e: int) -> int:
+        """``a**e mod p`` via three-arg ``pow``."""
         return pow(a, e, self.modulus)
 
     def inv(self, a: int) -> int:
+        """``a**-1 mod p``; ``ZeroDivisionError`` on 0."""
         if a == 0:
             raise ZeroDivisionError(f"0 has no inverse in {self.name}")
         return pow(a, -1, self.modulus)

@@ -8,13 +8,19 @@ the same protocol code can run on interchangeable implementations:
 
 * ``reference`` — per-element loops that mirror the original scalar code
   path operation-for-operation.  This is the semantic oracle.
-* ``fused`` — the fast path: modulus and table lookups are hoisted out of
-  the loops, extension columns are produced with precomputed per-degree
-  coefficients, and the SumCheck extend→product→accumulate dataflow is
-  fused into single passes with local-variable binding and deferred
-  modular reduction on accumulators.
+* ``fused`` — the pure-Python fast path: modulus and table lookups are
+  hoisted out of the loops, extension columns are produced with
+  precomputed per-degree coefficients, and the SumCheck
+  extend→product→accumulate dataflow is fused into single passes with
+  local-variable binding and deferred modular reduction on accumulators.
+* ``array`` — numpy uint64 limb planes with vectorized Montgomery REDC
+  and Barrett reduction (:mod:`repro.fields.array_backend`); registered
+  only when numpy is importable, otherwise :func:`get_backend` raises
+  :class:`BackendUnavailable`.
+* ``gmp`` — optional gmpy2 ``mpz`` variant of the fused kernels,
+  registered only when gmpy2 is importable.
 
-Both backends produce **bit-identical results** and report **identical
+All backends produce **bit-identical results** and report **identical
 :class:`~repro.fields.counters.OpCounter` tallies** — the counter models
 the abstract dataflow of the paper's Figure 1, not the Python op count —
 so the hw-model cross-checks in ``tests/test_hw_validation.py`` hold on
@@ -48,18 +54,22 @@ class VectorBackend:
     # -- elementwise -------------------------------------------------------
     def add(self, field: PrimeField, a: Sequence[int], b: Sequence[int],
             counter: OpCounter | None = None) -> list[int]:
+        """Elementwise ``(a[i] + b[i]) mod p``."""
         raise NotImplementedError
 
     def sub(self, field: PrimeField, a: Sequence[int], b: Sequence[int],
             counter: OpCounter | None = None) -> list[int]:
+        """Elementwise ``(a[i] - b[i]) mod p``."""
         raise NotImplementedError
 
     def mul(self, field: PrimeField, a: Sequence[int], b: Sequence[int],
             counter: OpCounter | None = None) -> list[int]:
+        """Elementwise ``(a[i] * b[i]) mod p``."""
         raise NotImplementedError
 
     def scale(self, field: PrimeField, a: Sequence[int], c: int,
               counter: OpCounter | None = None) -> list[int]:
+        """Elementwise ``(c * a[i]) mod p``, scalar ``c``."""
         raise NotImplementedError
 
     def axpy(self, field: PrimeField, acc: Sequence[int], c: int,
@@ -72,6 +82,30 @@ class VectorBackend:
              counter: OpCounter | None = None) -> list[int]:
         """MLE Update: ``out[i] = t[2i] + r * (t[2i+1] - t[2i])`` mod p."""
         raise NotImplementedError
+
+    def fold_tables(self, field: PrimeField, tables: dict, r: int,
+                    counter: OpCounter | None = None) -> dict:
+        """Fold every table by the same challenge ``r`` (one prover round).
+
+        Semantically identical to calling :meth:`fold` per table — which
+        is exactly what this default does — but array-style backends
+        override it to fold all tables in a single batched kernel pass.
+        Insertion order of ``tables`` is preserved.
+        """
+        return {
+            name: self.fold(field, t, r, counter)
+            for name, t in tables.items()
+        }
+
+    def wrap_table(self, field: PrimeField, table: Sequence[int]):
+        """Adopt a raw table into the backend's preferred representation.
+
+        Purely representational — no field operations, no counter
+        activity.  The default returns the table unchanged; the array
+        backend converts to limb planes once so every subsequent kernel
+        call hits its zero-copy fast path.
+        """
+        return table
 
     def extend_columns(self, field: PrimeField, table: Sequence[int],
                        degree: int,
@@ -100,6 +134,7 @@ class ReferenceBackend(VectorBackend):
     name = "reference"
 
     def add(self, field, a, b, counter=None):
+        """Oracle loop for :meth:`VectorBackend.add`."""
         fadd = field.add
         out = [fadd(x, y) for x, y in zip(a, b)]
         if counter is not None:
@@ -107,6 +142,7 @@ class ReferenceBackend(VectorBackend):
         return out
 
     def sub(self, field, a, b, counter=None):
+        """Oracle loop for :meth:`VectorBackend.sub`."""
         fsub = field.sub
         out = [fsub(x, y) for x, y in zip(a, b)]
         if counter is not None:
@@ -114,6 +150,7 @@ class ReferenceBackend(VectorBackend):
         return out
 
     def mul(self, field, a, b, counter=None):
+        """Oracle loop for :meth:`VectorBackend.mul`."""
         fmul = field.mul
         out = [fmul(x, y) for x, y in zip(a, b)]
         if counter is not None:
@@ -121,6 +158,7 @@ class ReferenceBackend(VectorBackend):
         return out
 
     def scale(self, field, a, c, counter=None):
+        """Oracle loop for :meth:`VectorBackend.scale`."""
         fmul = field.mul
         c %= field.modulus
         out = [fmul(x, c) for x in a]
@@ -129,6 +167,7 @@ class ReferenceBackend(VectorBackend):
         return out
 
     def axpy(self, field, acc, c, x, counter=None):
+        """Oracle loop for :meth:`VectorBackend.axpy`."""
         p = field.modulus
         c %= p
         out = [(u + c * v) % p for u, v in zip(acc, x)]
@@ -138,6 +177,7 @@ class ReferenceBackend(VectorBackend):
         return out
 
     def fold(self, field, table, r, counter=None):
+        """Oracle loop for :meth:`VectorBackend.fold`."""
         p = field.modulus
         r %= p
         out = [0] * (len(table) // 2)
@@ -151,6 +191,7 @@ class ReferenceBackend(VectorBackend):
         return out
 
     def extend_columns(self, field, table, degree, counter=None):
+        """Oracle loop for :meth:`VectorBackend.extend_columns`."""
         p = field.modulus
         half = len(table) // 2
         cols = [[0] * half for _ in range(degree + 1)]
@@ -173,6 +214,7 @@ class ReferenceBackend(VectorBackend):
         # Deliberately mirrors the original per-pair scalar loop
         # (including its counter call pattern) so it can serve as the
         # differential oracle for the fused kernel.
+        """Oracle loop for :meth:`VectorBackend.round_evaluations`."""
         p = field.modulus
         names = list(tables)
         half = len(tables[names[0]]) // 2
@@ -230,6 +272,7 @@ class FusedBackend(VectorBackend):
     name = "fused"
 
     def add(self, field, a, b, counter=None):
+        """Fused-loop :meth:`VectorBackend.add`."""
         p = field.modulus
         out = [(x + y) % p for x, y in zip(a, b)]
         if counter is not None:
@@ -237,6 +280,7 @@ class FusedBackend(VectorBackend):
         return out
 
     def sub(self, field, a, b, counter=None):
+        """Fused-loop :meth:`VectorBackend.sub`."""
         p = field.modulus
         out = [(x - y) % p for x, y in zip(a, b)]
         if counter is not None:
@@ -244,6 +288,7 @@ class FusedBackend(VectorBackend):
         return out
 
     def mul(self, field, a, b, counter=None):
+        """Fused-loop :meth:`VectorBackend.mul`."""
         p = field.modulus
         out = [x * y % p for x, y in zip(a, b)]
         if counter is not None:
@@ -251,6 +296,7 @@ class FusedBackend(VectorBackend):
         return out
 
     def scale(self, field, a, c, counter=None):
+        """Fused-loop :meth:`VectorBackend.scale`."""
         p = field.modulus
         c %= p
         out = [x * c % p for x in a]
@@ -259,6 +305,7 @@ class FusedBackend(VectorBackend):
         return out
 
     def axpy(self, field, acc, c, x, counter=None):
+        """Fused-loop :meth:`VectorBackend.axpy`."""
         p = field.modulus
         c %= p
         out = [(u + c * v) % p for u, v in zip(acc, x)]
@@ -268,6 +315,7 @@ class FusedBackend(VectorBackend):
         return out
 
     def fold(self, field, table, r, counter=None):
+        """Fused-loop :meth:`VectorBackend.fold`."""
         p = field.modulus
         r %= p
         lo = table[::2]
@@ -279,11 +327,14 @@ class FusedBackend(VectorBackend):
         return out
 
     def extend_columns(self, field, table, degree, counter=None):
+        """Fused-loop :meth:`VectorBackend.extend_columns`."""
         p = field.modulus
         # normalize the pair slices so non-canonical input stays
-        # bit-identical to the reference backend
-        lo = [v % p for v in table[::2]]
-        hi = [v % p for v in table[1::2]]
+        # bit-identical to the reference backend; an odd table's unpaired
+        # trailing element is dropped, exactly like the reference loop
+        half = len(table) // 2
+        lo = [v % p for v in table[:2 * half:2]]
+        hi = [v % p for v in table[1:2 * half:2]]
         cols = [lo, hi]
         # precomputed extension coefficient: line(x) = lo + x * (hi - lo)
         for x in range(2, degree + 1):
@@ -299,8 +350,9 @@ class FusedBackend(VectorBackend):
         *all* points, so downstream product passes run once per term
         rather than once per (term, point).  Requires canonical ``[0, p)``
         input (guaranteed by DenseMLE tables and fold outputs)."""
-        lo = table[::2]
-        hi = table[1::2]
+        half = len(table) // 2
+        lo = table[:2 * half:2]
+        hi = table[1:2 * half:2]
         flat = list(lo)
         if degree >= 1:
             flat += hi
@@ -315,6 +367,7 @@ class FusedBackend(VectorBackend):
         return flat
 
     def round_evaluations(self, field, terms, tables, degree, counter=None):
+        """Fused-loop :meth:`VectorBackend.round_evaluations`."""
         p = field.modulus
         npts = degree + 1
         names = list(tables)
@@ -423,20 +476,36 @@ class FusedBackend(VectorBackend):
 
 _BACKENDS: dict[str, VectorBackend] = {}
 
+#: backends that failed to register, mapped to a human-readable reason
+#: (typically a missing optional dependency); :func:`get_backend` turns
+#: these into :class:`BackendUnavailable` instead of "unknown backend"
+_UNAVAILABLE: dict[str, str] = {}
+
 DEFAULT_BACKEND = "reference"
+
+
+class BackendUnavailable(RuntimeError):
+    """A known backend cannot run here (missing optional dependency).
+
+    Distinct from the ``ValueError`` raised for truly unknown names so
+    callers (and CI's no-numpy leg) can tell a typo from a degraded
+    environment; the message names the install extra that fixes it.
+    """
 
 
 def register_backend(name: str, backend: VectorBackend) -> None:
     """Register (or replace) a named backend implementation."""
     if not isinstance(backend, VectorBackend):
         raise TypeError("backend must be a VectorBackend instance")
+    _UNAVAILABLE.pop(name, None)
     _BACKENDS[name] = backend
 
 
 def get_backend(backend: str | VectorBackend | None = None) -> VectorBackend:
     """Resolve a backend name (or pass through an instance).
 
-    ``None`` resolves to the ``reference`` backend, preserving the
+    ``None`` resolves to the session default (``reference`` unless
+    :func:`set_default_backend` changed it), preserving the
     pre-fast-path semantics everywhere a caller doesn't opt in.
     """
     if backend is None:
@@ -446,14 +515,49 @@ def get_backend(backend: str | VectorBackend | None = None) -> VectorBackend:
     try:
         return _BACKENDS[backend]
     except KeyError:
+        if backend in _UNAVAILABLE:
+            raise BackendUnavailable(
+                f"vector backend {backend!r} is unavailable: "
+                f"{_UNAVAILABLE[backend]}"
+            ) from None
         raise ValueError(
             f"unknown vector backend {backend!r}; "
             f"available: {available_backends()}"
         ) from None
 
 
-def available_backends() -> list[str]:
+def list_backends() -> list[str]:
+    """Sorted names of every backend that can actually run here.
+
+    This is the single source of truth for CLI ``--backend`` choices and
+    for the test parametrization matrix; backends whose optional
+    dependencies are missing are omitted (see :func:`unavailable_backends`).
+    """
     return sorted(_BACKENDS)
+
+
+def available_backends() -> list[str]:
+    """Alias of :func:`list_backends` (kept for older call sites)."""
+    return list_backends()
+
+
+def unavailable_backends() -> dict[str, str]:
+    """Known-but-unregistered backends mapped to the reason (a copy)."""
+    return dict(_UNAVAILABLE)
+
+
+def set_default_backend(backend: str | VectorBackend | None) -> str:
+    """Set the backend that ``None`` selections resolve to; returns its name.
+
+    Validates like :func:`get_backend` (unknown names raise
+    ``ValueError``, unavailable ones :class:`BackendUnavailable`).  Used
+    by ``repro-experiments --backend`` to steer every functional kernel
+    an experiment touches without threading a parameter through each
+    experiment module.
+    """
+    global DEFAULT_BACKEND
+    DEFAULT_BACKEND = backend_name(backend)
+    return DEFAULT_BACKEND
 
 
 def backend_name(backend: str | VectorBackend | None) -> str:
@@ -472,6 +576,30 @@ def backend_name(backend: str | VectorBackend | None) -> str:
 
 register_backend("reference", ReferenceBackend())
 register_backend("fused", FusedBackend())
+
+# optional fast backends: numpy limb planes ("array") and gmpy2 ("gmp").
+# Import failures downgrade them to _UNAVAILABLE so list_backends() — and
+# every CLI choices list built from it — shrinks instead of breaking,
+# and get_backend() raises a clear BackendUnavailable.
+try:
+    from repro.fields.array_backend import ArrayBackend, GmpBackend
+except ImportError as exc:
+    _UNAVAILABLE["array"] = (
+        f"requires numpy (pip install repro-zkphire[fast]): {exc}"
+    )
+    _UNAVAILABLE["gmp"] = (
+        f"requires numpy + gmpy2 (pip install repro-zkphire[fast,gmp]): {exc}"
+    )
+else:
+    register_backend("array", ArrayBackend())
+    try:
+        import gmpy2  # noqa: F401  (availability probe only)
+    except ImportError as exc:
+        _UNAVAILABLE["gmp"] = (
+            f"requires gmpy2 (pip install repro-zkphire[gmp]): {exc}"
+        )
+    else:
+        register_backend("gmp", GmpBackend())
 
 
 # ---------------------------------------------------------------------------
@@ -499,12 +627,14 @@ class FieldVec:
     @classmethod
     def zeros(cls, field: PrimeField, n: int,
               backend: str | VectorBackend | None = None) -> "FieldVec":
+        """An all-zero vector of length ``n``."""
         return cls(field, [0] * n, backend)
 
     @classmethod
     def random(cls, field: PrimeField, n: int,
                rng: random.Random | None = None,
                backend: str | VectorBackend | None = None) -> "FieldVec":
+        """A vector of ``n`` uniform elements from ``rng``."""
         rng = rng or random.Random()
         return cls(field, [rng.randrange(field.modulus) for _ in range(n)],
                    backend)
@@ -520,21 +650,25 @@ class FieldVec:
         raise TypeError(f"cannot combine FieldVec with {type(other).__name__}")
 
     def add(self, other, counter: OpCounter | None = None) -> "FieldVec":
+        """Elementwise sum with ``other``."""
         out = self.backend.add(self.field, self.values, self._coerce(other),
                                counter)
         return self._wrap(out)
 
     def sub(self, other, counter: OpCounter | None = None) -> "FieldVec":
+        """Elementwise difference with ``other``."""
         out = self.backend.sub(self.field, self.values, self._coerce(other),
                                counter)
         return self._wrap(out)
 
     def mul(self, other, counter: OpCounter | None = None) -> "FieldVec":
+        """Elementwise (Hadamard) product with ``other``."""
         out = self.backend.mul(self.field, self.values, self._coerce(other),
                                counter)
         return self._wrap(out)
 
     def scale(self, c: int, counter: OpCounter | None = None) -> "FieldVec":
+        """Every element multiplied by a scalar."""
         return self._wrap(self.backend.scale(self.field, self.values, c,
                                              counter))
 
@@ -583,6 +717,7 @@ class FieldVec:
 
     # -- misc --------------------------------------------------------------
     def to_list(self) -> list[int]:
+        """A plain ``list[int]`` copy of the values."""
         return list(self.values)
 
     def __len__(self):

@@ -10,8 +10,12 @@ import argparse
 import json
 import sys
 
-from repro.cli import cache_capacity, nonnegative_float, positive_int
-from repro.fields.vector import available_backends
+from repro.cli import (
+    backend_choices,
+    cache_capacity,
+    nonnegative_float,
+    positive_int,
+)
 from repro.plan import FunctionalProverCostModel
 from repro.service.batching import DRAIN_POLICIES
 from repro.service.core import ProvingService, ServiceConfig
@@ -38,8 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--workers", type=positive_int, default=2,
                         help="worker count for thread/process executors")
     parser.add_argument("--backend", default="fused",
-                        choices=available_backends(),
-                        help="field-vector backend")
+                        choices=backend_choices(),
+                        help="field-vector backend (registry-sourced; "
+                             "optional backends appear when installed)")
     parser.add_argument("--cache-capacity", type=cache_capacity, default=None,
                         help="LRU index-cache entries (0 or omitted: "
                              "unbounded)")

@@ -11,7 +11,7 @@ import random
 
 import pytest
 
-from repro.fields import OpCounter
+from repro.fields import OpCounter, list_backends
 from repro.hyperplonk import (
     HyperPlonkProver,
     MultilinearKZG,
@@ -53,13 +53,18 @@ class TestPlanVsProver:
         assert actual.inv == predicted.inv
         assert actual.labels == predicted.msm_counts
 
-    def test_fused_backend_counts_identically(self, kzg):
-        """The fast path keeps tally parity, so the plan predicts it too."""
-        actual = prove_with_counter("vanilla", 3, kzg, backend="fused")
+    @pytest.mark.parametrize(
+        "backend", [b for b in list_backends() if b != "reference"]
+    )
+    def test_fast_backends_count_identically(self, backend, kzg):
+        """Every fast backend keeps tally parity, so one plan predicts
+        them all — prediction is backend-invariant by construction."""
+        actual = prove_with_counter("vanilla", 3, kzg, backend=backend)
         predicted = ProofPlan.for_shape("vanilla", 3).predicted_prover_ops()
         assert actual.mul == predicted.total_mul
         assert actual.ee_mul == predicted.ee_mul
         assert actual.pl_mul == predicted.pl_mul
+        assert actual.labels == predicted.msm_counts
 
     def test_predictions_scale_with_size(self):
         """Tallies roughly double per extra variable (sanity on the

@@ -16,8 +16,8 @@ from repro.fields import (
     Fr,
     OpCounter,
     PrimeField,
-    available_backends,
     get_backend,
+    list_backends,
 )
 from repro.mle import DenseMLE, extend_pair, extend_table
 
@@ -25,7 +25,8 @@ P = Fr.modulus
 SEED = 0x5EED
 N = 64
 
-BACKENDS = available_backends()
+# every registered backend — optional ones (array/gmp) join automatically
+BACKENDS = list_backends()
 
 
 def rand_vec(rng, backend, n=N, field=Fr):
