@@ -162,6 +162,29 @@ SPECS: dict[str, Spec] = {
             "sweep[*].cache_hit_rate",
         ],
     ),
+    "BENCH_fleet.json": Spec(
+        # wall-clock numbers, rankings, and significant-pair lists are
+        # machine-dependent (core count changes which regime the
+        # core-aware prediction is in), so only the run configuration
+        # and the verdicts are pinned; the calibration spread is the
+        # one magnitude worth rate-limiting across machines
+        exact=[
+            "benchmark",
+            "unit",
+            "scenario",
+            "jobs",
+            "nodes",
+            "seed",
+            "time_model",
+            "significance",
+            "measured_tolerance",
+            "rank_agreement",
+            "proofs_identical",
+        ],
+        ratio=[
+            "calibration_spread",
+        ],
+    ),
 }
 
 _SEGMENT = re.compile(r"^(?P<key>[A-Za-z0-9_]+)(?P<wild>\[\*\])?$")

@@ -44,11 +44,11 @@ from repro.cluster.metrics import (
 from repro.cluster.nodes import (
     DEFAULT_NODE_CACHE_CAPACITY,
     InFlightJob,
-    JobRecord,
     NodeConfig,
     ProverNode,
     SimIndexCache,
 )
+from repro.cluster.records import JobRecord, RetryPolicy
 from repro.cluster.routing import (
     DEFAULT_REPLICAS,
     NoRoutableNodeError,
@@ -76,6 +76,7 @@ __all__ = [
     "ProvingCluster",
     "ROUTING_POLICIES",
     "ResilienceStats",
+    "RetryPolicy",
     "SimIndexCache",
     "TIME_MODEL_PRESETS",
     "cluster_summary",

@@ -33,6 +33,7 @@ from repro.cluster.metrics import cluster_summary
 from repro.cluster.nodes import JobRecord, NodeConfig, ProverNode
 from repro.cluster.routing import DEFAULT_REPLICAS, ClusterRouter
 from repro.cluster.timemodel import FleetTimeModel
+from repro.fleet.events import EventLog
 from repro.service.jobs import ProofJob, ProofResult
 from repro.workloads.churn import ChurnEvent
 
@@ -97,6 +98,9 @@ class ProvingCluster:
         self.failed_jobs: list[ProofJob] = []
         #: resilience section of the last scenario run (None = none ran)
         self.resilience: dict | None = None
+        #: structured event log of the last run (shared fleet schema;
+        #: None until a drain or scenario ran)
+        self.events: EventLog | None = None
 
     def _new_node_id(self) -> str:
         node_id = f"node-{self._next_node}"
@@ -162,7 +166,9 @@ class ProvingCluster:
         engine = ClusterEngine(
             self, respect_arrivals=self.config.respect_arrivals
         )
-        return engine.run_wave()
+        records = engine.run_wave()
+        self.events = engine.events
+        return records
 
     def run(self, jobs: list[ProofJob]) -> list[JobRecord]:
         """Submit and drain a whole job stream (failure-free)."""
@@ -190,6 +196,7 @@ class ProvingCluster:
             self.check_fits(job)
         engine = ClusterEngine(self, respect_arrivals=True)
         records = engine.run_scenario(jobs, churn=churn)
+        self.events = engine.events
         stats = engine.stats.as_dict()
         if self.resilience is None:
             self.resilience = stats

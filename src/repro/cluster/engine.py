@@ -34,7 +34,9 @@ from dataclasses import dataclass, field as dc_field
 from typing import TYPE_CHECKING, Iterable
 
 from repro.cluster.nodes import JobRecord, ProverNode
+from repro.cluster.records import RetryPolicy
 from repro.cluster.routing import NoRoutableNodeError
+from repro.fleet.events import EventLog
 from repro.service.jobs import ProofJob
 from repro.sim import EventHandle, Simulator, TraceSource, install
 from repro.workloads.churn import ChurnEvent
@@ -117,6 +119,11 @@ class ClusterEngine:
         self._total_jobs = 0
         self._scenario = False
         self.max_retries = cluster.config.max_retries
+        #: shared crash-retry contract (same object family the fleet uses)
+        self.retry_policy = RetryPolicy(cluster.config.max_retries)
+        #: structured JSONL event log on the model clock (shared schema
+        #: with the real fleet — see :mod:`repro.fleet.events`)
+        self.events = EventLog(clock=lambda: self.sim.now)
 
     # -- node work loop ------------------------------------------------------
     def _kick(self, node: ProverNode) -> None:
@@ -158,6 +165,13 @@ class ClusterEngine:
         job = node.in_flight.job
         record = node.complete()
         self.records.append(record)
+        self.events.emit(
+            "job_completed",
+            job_id=record.job_id,
+            node_id=node.node_id,
+            attempt=record.attempt,
+            cache_hit=record.cache_hit,
+        )
         if self._scenario:
             self.cluster.router.release(
                 node.node_id, self.cluster.router.job_cost_s(job)
@@ -187,6 +201,12 @@ class ClusterEngine:
             node_id = router.assign(job)
         node = self.cluster.nodes[node_id]
         node.submit(job)
+        self.events.emit(
+            "job_assigned",
+            job_id=job.job_id,
+            node_id=node_id,
+            attempt=job.attempt,
+        )
         self._kick(node)
         return node_id
 
@@ -200,11 +220,13 @@ class ClusterEngine:
         """Arrival event: id-stamp and route one job."""
         self.cluster.check_fits(job)
         job.job_id = self.cluster.next_job_id()
+        self.events.emit("job_accepted", job_id=job.job_id, tag=job.tag)
         self._route(job)
 
     def _fail(self, job: ProofJob) -> None:
         self.stats.failed += 1
         self.failed_jobs.append(job)
+        self.events.emit("job_failed", job_id=job.job_id, attempt=job.attempt)
         self._check_done()
 
     def _check_done(self) -> None:
@@ -243,24 +265,33 @@ class ClusterEngine:
             self.stats.lost_model_s += lost
         requeued = node.crash(self.sim.now)
         self.cluster.router.mark_down(node.node_id)
+        self.events.emit("node_down", node_id=node.node_id, reason="crash")
         for job in sorted(requeued, key=lambda j: (j.arrival_s, j.job_id)):
             self.stats.requeues += 1
             self._route(job)
         if retry_job is not None:
-            retry_job.attempt += 1
-            retry_job.excluded_node_ids = tuple(
-                dict.fromkeys((*retry_job.excluded_node_ids, node.node_id))
+            self.events.emit(
+                "job_crashed",
+                job_id=retry_job.job_id,
+                node_id=node.node_id,
+                attempt=retry_job.attempt,
             )
-            if retry_job.attempt > self.max_retries:
-                self._fail(retry_job)
-            else:
+            if self.retry_policy.register_loss(retry_job, node.node_id):
                 self.stats.retries += 1
+                self.events.emit(
+                    "job_retried",
+                    job_id=retry_job.job_id,
+                    attempt=retry_job.attempt,
+                )
                 self._route(retry_job)
+            else:
+                self._fail(retry_job)
 
     def _recover(self, node: ProverNode) -> None:
         self.stats.recoveries += 1
         node.recover(self.sim.now)
         self.cluster.router.mark_up(node.node_id)
+        self.events.emit("node_up", node_id=node.node_id, reason="recover")
         self._unpark()
         self._kick(node)
 
@@ -327,6 +358,9 @@ class ClusterEngine:
                 priority=PRIO_CHURN,
             )
         else:
+            self.events.emit(
+                "node_up", node_id=node_id, reason="scale_out"
+            )
             self._unpark()
 
     def _provisioned(self, node: ProverNode) -> None:
@@ -334,6 +368,7 @@ class ClusterEngine:
             return  # retired before provisioning finished
         node.recover(self.sim.now)
         self.cluster.router.mark_up(node.node_id)
+        self.events.emit("node_up", node_id=node.node_id, reason="scale_out")
         self._unpark()
         self._kick(node)
 
@@ -354,6 +389,7 @@ class ClusterEngine:
         node = self.cluster.nodes[node_id]
         node.flush_service()  # execute mode: prove its backlog first
         self.cluster.remove_node(node_id)
+        self.events.emit("node_down", node_id=node_id, reason="scale_in")
         self.stats.scale_ins += 1
         self.stats.autoscale_actions.append(
             {

@@ -28,10 +28,20 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.cluster.records import JobRecord
 from repro.cluster.timemodel import FleetTimeModel
 from repro.service.cache import CacheStats
 from repro.service.core import ProvingService, ServiceConfig
 from repro.service.jobs import ProofJob, ProofResult
+
+__all__ = [
+    "DEFAULT_NODE_CACHE_CAPACITY",
+    "InFlightJob",
+    "JobRecord",
+    "NodeConfig",
+    "ProverNode",
+    "SimIndexCache",
+]
 
 #: default LRU entries in a node's (bounded) local index cache
 DEFAULT_NODE_CACHE_CAPACITY = 4
@@ -96,36 +106,6 @@ class NodeConfig:
     wave_s: float | None = 1.0
     #: verify every execute-mode proof in-service
     verify_proofs: bool = False
-
-
-@dataclass
-class JobRecord:
-    """Model-time bookkeeping for one routed job."""
-
-    job_id: int
-    tag: str
-    circuit_key: str
-    node_id: str
-    arrival_s: float
-    start_s: float
-    finish_s: float
-    prove_model_s: float
-    install_model_s: float
-    cache_hit: bool
-    #: absolute model-time deadline the job carried (None = none)
-    deadline_s: float | None = None
-    #: retry ordinal at completion (0 = never lost to a crash)
-    attempt: int = 0
-
-    @property
-    def latency_s(self) -> float:
-        """Arrival-to-finish model seconds."""
-        return self.finish_s - self.arrival_s
-
-    @property
-    def missed_deadline(self) -> bool:
-        """True when the job finished past its deadline."""
-        return self.deadline_s is not None and self.finish_s > self.deadline_s
 
 
 @dataclass

@@ -1,0 +1,581 @@
+"""The asyncio control plane of the real proving fleet.
+
+:class:`ProvingFleet` runs what :class:`~repro.cluster.core.\
+ProvingCluster` simulates: N persistent worker processes
+(:mod:`repro.fleet.worker`), one per node, driven by a single-threaded
+asyncio coordinator.  The design mirrors the sim deliberately, piece by
+piece, so measured behavior is comparable to predicted behavior:
+
+* **Routing** — the same :class:`~repro.cluster.routing.ClusterRouter`
+  object the sim uses, fed in the same submission order with the same
+  cost model, so failure-free placements are *identical* to the sim's
+  (``tests/test_fleet.py`` locks this).  Exclusion waivers and parking
+  follow :meth:`ClusterEngine._route` exactly.
+* **Node discipline** — one in-flight job per node, queue drained in
+  ``(arrival, job_id)`` order like
+  :meth:`~repro.cluster.nodes.ProverNode.peek_next`.
+* **Failure semantics** — a dead node (churn kill, heartbeat miss, or
+  job timeout) loses its in-flight job to the shared
+  :class:`~repro.cluster.records.RetryPolicy`: attempt bump, loser
+  exclusion, ``max_retries`` → failed.  Queued jobs requeue without
+  penalty.  Jobs park when the whole fleet is down.
+* **Events** — the same :class:`~repro.fleet.events.EventLog` schema
+  the sim engine emits, stamped with run-relative wall seconds.
+
+Failure *injection* is deterministic: a seeded churn trace
+(:mod:`repro.workloads.churn`) maps crash events to SIGKILL and
+recovery events to fresh worker processes (cold cache, same seed — so
+proofs stay byte-identical).  Failure *detection* is real: a
+:class:`~repro.fleet.heartbeat.HeartbeatMonitor` watches worker beats
+and the coordinator kills + retries on silence, and per-job timeouts
+catch wedged proofs.
+
+Each worker owns a private outbox queue read by a dedicated thread that
+trampolines messages onto the event loop — a SIGKILL mid-message can
+corrupt at most the dead worker's pipe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing as mp
+import threading
+from dataclasses import dataclass, field as dc_field
+from typing import Callable, Iterable
+
+from repro.cluster.nodes import NodeConfig
+from repro.cluster.records import JobRecord, RetryPolicy
+from repro.cluster.routing import (
+    DEFAULT_REPLICAS,
+    NoRoutableNodeError,
+    ROUTING_POLICIES,
+    ClusterRouter,
+)
+from repro.cluster.timemodel import FleetTimeModel
+from repro.fleet.events import EventLog
+from repro.fleet.heartbeat import HeartbeatMonitor
+from repro.fleet.worker import WorkerSpec, worker_main
+from repro.service.workers import ProveTask, TaskOutcome, WorkerProbe
+
+
+def _mp_context():
+    """A thread-safe multiprocessing context (forkserver where available).
+
+    The coordinator runs reader threads, so plain ``fork`` would copy
+    live thread state into respawned workers (and trips 3.12+'s
+    fork-with-threads warning); ``forkserver`` forks from a clean
+    server process instead.  Falls back to the platform default
+    (``spawn`` on Windows).
+    """
+    try:
+        ctx = mp.get_context("forkserver")
+        ctx.set_forkserver_preload(["repro.fleet.worker"])
+        return ctx
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return mp.get_context()
+
+
+@dataclass
+class FleetConfig:
+    """Knobs for one :class:`ProvingFleet`.
+
+    ``node`` reuses the cluster's :class:`NodeConfig` so one object
+    describes both the simulated node and the real worker built from it
+    (cache bound, SRS seed/size, backend).
+    """
+
+    num_nodes: int = 3
+    #: ``round_robin`` | ``least_loaded`` | ``affinity``
+    policy: str = "affinity"
+    #: per-node knobs shared with the sim (cache bound, seed, backend)
+    node: NodeConfig = dc_field(default_factory=NodeConfig)
+    #: router cost-model preset — match the sim run being validated
+    time_model: str = "functional"
+    #: virtual points per node on the affinity hash ring
+    replicas: int = DEFAULT_REPLICAS
+    #: crash-retry budget per job (shared :class:`RetryPolicy` semantics)
+    max_retries: int = 2
+    #: worker heartbeat period in wall seconds
+    heartbeat_s: float = 0.05
+    #: heartbeats missed in a row before a node is declared dead
+    heartbeat_misses: float = 6.0
+    #: wall seconds an in-flight job may run before its node is killed
+    #: and the job retried (None = no timeout)
+    job_timeout_s: float | None = None
+    #: model-seconds → wall-seconds factor for arrivals and churn stamps
+    time_scale: float = 1.0
+    #: submit jobs at their (scaled) arrival times instead of all at once
+    respect_arrivals: bool = False
+    #: respawn a replacement worker after a *detected* failure
+    #: (heartbeat miss / job timeout); churn kills instead wait for
+    #: their trace's recovery event
+    auto_respawn: bool = True
+    #: hard wall-second cap on one run (None = run to completion)
+    run_timeout_s: float | None = None
+
+
+@dataclass
+class _Flight:
+    """The one job a node is currently proving (wall time)."""
+
+    job: object
+    start_s: float
+    timeout: asyncio.TimerHandle | None = None
+
+
+class _Handle:
+    """Coordinator-side state for one worker process."""
+
+    def __init__(self, node_id: str, process, inbox, outbox):
+        self.node_id = node_id
+        self.process = process
+        self.inbox = inbox
+        self.outbox = outbox
+        self.reader: threading.Thread | None = None
+        self.up = False
+        self.ready = asyncio.Event()
+        self.stopped = asyncio.Event()
+        self.in_flight: _Flight | None = None
+        self.pending: list = []
+        self.jobs_done = 0
+        self.crashes = 0
+        self.probes: list[WorkerProbe] = []
+
+
+class ProvingFleet:
+    """N real worker processes behind the sim's router; see module doc.
+
+    Synchronous surface: build one, call :meth:`run` (it owns an
+    asyncio loop internally), then read :attr:`records`,
+    :attr:`failed_jobs`, :attr:`outcomes`, :attr:`events`, and
+    :meth:`summary`.  A fleet instance is single-run.
+    """
+
+    def __init__(self, config: FleetConfig | None = None):
+        self.config = config = config or FleetConfig()
+        if config.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if config.policy not in ROUTING_POLICIES:
+            raise ValueError(
+                f"unknown policy {config.policy!r}; "
+                f"choose from {ROUTING_POLICIES}"
+            )
+        self.time_model = FleetTimeModel.preset(config.time_model)
+        self.node_ids = [f"node-{i}" for i in range(config.num_nodes)]
+        self.router = ClusterRouter(
+            config.policy,
+            self.node_ids,
+            cost_model=self.time_model.prove_model,
+            replicas=config.replicas,
+        )
+        self.retry_policy = RetryPolicy(config.max_retries)
+        self.monitor = HeartbeatMonitor(
+            config.heartbeat_s, config.heartbeat_misses
+        )
+        self.events = EventLog(clock=self._now)
+        self.records: list[JobRecord] = []
+        self.failed_jobs: list = []
+        #: completed :class:`TaskOutcome` per cluster job id
+        self.outcomes: dict[int, TaskOutcome] = {}
+        #: every :class:`WorkerProbe` collected (probe replies + final
+        #: stop snapshots) — the build-once SRS evidence
+        self.worker_probes: list[WorkerProbe] = []
+        #: counters mirroring :class:`~repro.cluster.engine.ResilienceStats`
+        self.crashes = 0
+        self.retries = 0
+        self.requeues = 0
+        self.parked_count = 0
+        self.exclusion_waivers = 0
+        self.lost_wall_s = 0.0
+        self._handles: dict[str, _Handle] = {}
+        self._parked: list = []
+        self._ctx = _mp_context()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._t0: float | None = None
+        self._total = 0
+        self._next_id = 0
+        self._done: asyncio.Event | None = None
+        self._shutting_down = False
+        self._ran = False
+
+    # -- clocks --------------------------------------------------------------
+    def _now(self) -> float:
+        """Run-relative wall seconds (0.0 until the fleet is warm)."""
+        if self._loop is None or self._t0 is None:
+            return 0.0
+        return self._loop.time() - self._t0
+
+    @property
+    def proofs(self) -> dict[int, object]:
+        """Completed proofs by cluster job id (byte-identity hook)."""
+        return {jid: out.proof for jid, out in self.outcomes.items()}
+
+    # -- worker lifecycle ----------------------------------------------------
+    def _spawn(self, node_id: str) -> _Handle:
+        """Start a fresh worker process for ``node_id`` (cold cache)."""
+        spec = WorkerSpec(
+            node_id=node_id,
+            srs_max_vars=self.config.node.max_vars + 1,
+            srs_seed=self.config.node.srs_seed,
+            cache_capacity=self.config.node.cache_capacity,
+            heartbeat_s=self.config.heartbeat_s,
+        )
+        inbox = self._ctx.Queue()
+        outbox = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(spec, inbox, outbox),
+            name=f"fleet-{node_id}",
+            daemon=True,
+        )
+        handle = _Handle(node_id, process, inbox, outbox)
+        self._handles[node_id] = handle
+        process.start()
+        handle.reader = threading.Thread(
+            target=self._read, args=(handle,), daemon=True
+        )
+        handle.reader.start()
+        return handle
+
+    def _read(self, handle: _Handle) -> None:
+        """Reader-thread loop: trampoline one worker's messages."""
+        while True:
+            try:
+                msg = handle.outbox.get()
+            except (EOFError, OSError):  # pragma: no cover - torn pipe
+                break
+            if msg is None:  # coordinator-injected wakeup after a kill
+                break
+            try:
+                self._loop.call_soon_threadsafe(self._on_message, handle, msg)
+            except RuntimeError:  # loop already closed
+                break
+            if msg[1] == "stopped":
+                break
+
+    def _on_message(self, handle: _Handle, msg) -> None:
+        node_id, kind, payload = msg
+        current = self._handles.get(node_id) is handle
+        if kind == "ready":
+            if not current:
+                return
+            handle.up = True
+            handle.ready.set()
+            self.monitor.expect(node_id)
+            if node_id in self.router.down_node_ids:
+                self.router.mark_up(node_id)
+            self.events.emit("node_up", node_id=node_id, pid=payload)
+            self._unpark()
+            self._kick(handle)
+        elif kind == "heartbeat":
+            if current and handle.up:
+                self.monitor.beat(node_id)
+        elif kind == "result":
+            if not (current and handle.up):
+                return  # stale result from a node we already failed
+            self._complete(handle, payload)
+        elif kind == "probe":
+            self.worker_probes.append(payload)
+            handle.probes.append(payload)
+        elif kind == "stopped":
+            self.worker_probes.append(payload)
+            handle.probes.append(payload)
+            handle.stopped.set()
+
+    # -- submission / routing (mirrors ClusterEngine) ------------------------
+    def _submit(self, job) -> None:
+        job.job_id = self._next_id
+        self._next_id += 1
+        self.events.emit("job_accepted", job_id=job.job_id, tag=job.tag)
+        self._route(job)
+
+    def _route(self, job) -> str | None:
+        """Route one job, parking it when nothing is routable."""
+        try:
+            node_id = self.router.assign(job, exclude=job.excluded_node_ids)
+        except NoRoutableNodeError:
+            if not self.router.up_node_ids:
+                self.parked_count += 1
+                self._parked.append(job)
+                return None
+            self.exclusion_waivers += 1
+            node_id = self.router.assign(job)
+        handle = self._handles[node_id]
+        handle.pending.append(job)
+        self.events.emit(
+            "job_assigned",
+            job_id=job.job_id,
+            node_id=node_id,
+            attempt=job.attempt,
+        )
+        self._kick(handle)
+        return node_id
+
+    def _unpark(self) -> None:
+        parked, self._parked = self._parked, []
+        for job in sorted(parked, key=lambda j: (j.arrival_s, j.job_id)):
+            self._route(job)
+
+    def _kick(self, handle: _Handle) -> None:
+        """Dispatch the node's next queued job if it is idle and up."""
+        if not handle.up or handle.in_flight is not None:
+            return
+        if not handle.pending:
+            return
+        job = min(handle.pending, key=lambda j: (j.arrival_s, j.job_id))
+        handle.pending.remove(job)
+        task = ProveTask(
+            job_id=job.job_id,
+            circuit=job.circuit,
+            backend=job.backend or self.config.node.default_backend,
+            circuit_key=job.circuit_key,
+        )
+        flight = _Flight(job=job, start_s=self._now())
+        if self.config.job_timeout_s is not None:
+            flight.timeout = self._loop.call_later(
+                self.config.job_timeout_s, self._on_timeout, handle, job
+            )
+        handle.in_flight = flight
+        handle.inbox.put(("prove", task))
+
+    def _complete(self, handle: _Handle, outcome: TaskOutcome) -> None:
+        flight = handle.in_flight
+        if flight is None or flight.job.job_id != outcome.job_id:
+            return  # stale result (job already retried elsewhere)
+        handle.in_flight = None
+        if flight.timeout is not None:
+            flight.timeout.cancel()
+        job = flight.job
+        scale = self.config.time_scale
+        arrival = job.arrival_s * scale if self.config.respect_arrivals else 0.0
+        record = JobRecord(
+            job_id=job.job_id,
+            tag=job.tag,
+            circuit_key=job.circuit_key,
+            node_id=handle.node_id,
+            arrival_s=arrival,
+            start_s=flight.start_s,
+            finish_s=self._now(),
+            prove_model_s=outcome.prove_s,
+            install_model_s=outcome.install_s,
+            cache_hit=outcome.cache_hit,
+            deadline_s=(
+                job.deadline_s * scale if job.deadline_s is not None else None
+            ),
+            attempt=job.attempt,
+        )
+        self.records.append(record)
+        self.outcomes[job.job_id] = outcome
+        handle.jobs_done += 1
+        self.router.release(handle.node_id, self.router.job_cost_s(job))
+        self.events.emit(
+            "job_completed",
+            job_id=job.job_id,
+            node_id=handle.node_id,
+            attempt=job.attempt,
+            cache_hit=outcome.cache_hit,
+        )
+        self._check_done()
+        self._kick(handle)
+
+    def _fail_job(self, job) -> None:
+        self.failed_jobs.append(job)
+        self.events.emit("job_failed", job_id=job.job_id, attempt=job.attempt)
+        self._check_done()
+
+    def _check_done(self) -> None:
+        if len(self.records) + len(self.failed_jobs) >= self._total:
+            self._done.set()
+
+    # -- failure paths -------------------------------------------------------
+    def _on_timeout(self, handle: _Handle, job) -> None:
+        flight = handle.in_flight
+        if flight is None or flight.job is not job or not handle.up:
+            return
+        self._fail_node(
+            handle.node_id,
+            reason="timeout",
+            respawn=self.config.auto_respawn,
+        )
+
+    def _fail_node(self, node_id: str, *, reason: str, respawn: bool) -> None:
+        """Kill a node and apply the sim's crash semantics to its jobs."""
+        handle = self._handles[node_id]
+        if not handle.up:
+            return
+        handle.up = False
+        handle.crashes += 1
+        self.crashes += 1
+        self.monitor.forget(node_id)
+        if handle.process.is_alive():
+            handle.process.kill()
+        handle.outbox.put(None)  # wake the reader thread past the corpse
+        if node_id not in self.router.down_node_ids:
+            self.router.mark_down(node_id)
+        self.events.emit("node_down", node_id=node_id, reason=reason)
+        flight, handle.in_flight = handle.in_flight, None
+        if flight is not None and flight.timeout is not None:
+            flight.timeout.cancel()
+        requeued, handle.pending = handle.pending, []
+        for job in sorted(requeued, key=lambda j: (j.arrival_s, j.job_id)):
+            self.requeues += 1
+            self._route(job)
+        if flight is not None:
+            job = flight.job
+            self.lost_wall_s += max(0.0, self._now() - flight.start_s)
+            self.events.emit(
+                "job_crashed",
+                job_id=job.job_id,
+                node_id=node_id,
+                attempt=job.attempt,
+            )
+            if self.retry_policy.register_loss(job, node_id):
+                self.retries += 1
+                self.events.emit(
+                    "job_retried", job_id=job.job_id, attempt=job.attempt
+                )
+                self._route(job)
+            else:
+                self._fail_job(job)
+        if respawn and not self._shutting_down:
+            self._spawn(node_id)
+
+    def _on_churn(self, event) -> None:
+        """Apply one seeded churn event: crash = SIGKILL, recover = spawn."""
+        node_id = f"node-{event.node_index}"
+        handle = self._handles.get(node_id)
+        if handle is None:
+            return
+        if event.kind == "crash":
+            if handle.up:
+                self._fail_node(node_id, reason="churn", respawn=False)
+        elif not handle.up and not self._shutting_down:
+            self._spawn(node_id)
+
+    # -- test/chaos hooks ----------------------------------------------------
+    def freeze(self, node_id: str, seconds: float) -> None:
+        """Wedge ``node_id`` for ``seconds``: no beats, no progress.
+
+        The heartbeat monitor then declares it dead — the deterministic
+        stand-in for a hung worker in the failure-detection tests.
+        """
+        self._handles[node_id].inbox.put(("freeze", seconds))
+
+    def kill(self, node_id: str, *, respawn: bool | None = None) -> None:
+        """SIGKILL ``node_id`` immediately (crash semantics apply)."""
+        if respawn is None:
+            respawn = self.config.auto_respawn
+        self._fail_node(node_id, reason="kill", respawn=respawn)
+
+    def probe_workers(self) -> None:
+        """Ask every live worker for a :class:`WorkerProbe` snapshot."""
+        for handle in self._handles.values():
+            if handle.up:
+                handle.inbox.put(("probe", None))
+
+    # -- run -----------------------------------------------------------------
+    def run(
+        self,
+        jobs: list,
+        *,
+        churn: Iterable = (),
+        actions: Iterable[tuple[float, Callable[["ProvingFleet"], None]]] = (),
+    ) -> list[JobRecord]:
+        """Serve ``jobs`` on real workers; returns records in finish order.
+
+        ``churn`` is a model-time :class:`~repro.workloads.churn.\
+        ChurnEvent` trace (stamps scaled by ``config.time_scale``);
+        ``actions`` are ``(at_s, fn)`` chaos callbacks invoked with the
+        fleet at run-relative wall times (tests use these to freeze or
+        kill nodes mid-run).  A fleet instance runs once.
+        """
+        if self._ran:
+            raise RuntimeError("a ProvingFleet instance is single-run")
+        self._ran = True
+        return asyncio.run(self._run(list(jobs), list(churn), list(actions)))
+
+    async def _run(self, jobs, churn, actions) -> list[JobRecord]:
+        self._loop = asyncio.get_running_loop()
+        self._done = asyncio.Event()
+        self._total = len(jobs)
+        for node_id in self.node_ids:
+            self._spawn(node_id)
+        ready = [h.ready.wait() for h in self._handles.values()]
+        await asyncio.wait_for(asyncio.gather(*ready), timeout=120.0)
+        # makespan starts when the fleet is warm, not when Python forked
+        self._t0 = self._loop.time()
+        scale = self.config.time_scale
+        timers = []
+        if self.config.respect_arrivals:
+            for job in jobs:
+                timers.append(
+                    self._loop.call_later(
+                        job.arrival_s * scale, self._submit, job
+                    )
+                )
+        else:
+            for job in jobs:
+                self._submit(job)
+        for event in churn:
+            timers.append(
+                self._loop.call_later(
+                    event.at_s * scale, self._on_churn, event
+                )
+            )
+        for at_s, fn in actions:
+            timers.append(self._loop.call_later(at_s, fn, self))
+        watchdog = asyncio.ensure_future(self._watch())
+        try:
+            if self._total:
+                await asyncio.wait_for(
+                    self._done.wait(), timeout=self.config.run_timeout_s
+                )
+        finally:
+            self._shutting_down = True
+            watchdog.cancel()
+            for timer in timers:
+                timer.cancel()
+            await self._shutdown()
+        self.records.sort(key=lambda r: (r.finish_s, r.job_id))
+        return self.records
+
+    async def _watch(self) -> None:
+        """Declare heartbeat-silent nodes dead (kill + retry + respawn)."""
+        while True:
+            await asyncio.sleep(self.config.heartbeat_s)
+            for node_id in self.monitor.overdue():
+                handle = self._handles.get(node_id)
+                if handle is not None and handle.up:
+                    self._fail_node(
+                        node_id,
+                        reason="heartbeat",
+                        respawn=self.config.auto_respawn,
+                    )
+
+    async def _shutdown(self) -> None:
+        """Graceful drain: stop live workers, reap everything."""
+        live = [h for h in self._handles.values() if h.up]
+        for handle in live:
+            handle.up = False
+            self.monitor.forget(handle.node_id)
+            handle.inbox.put(("stop", None))
+        if live:
+            waits = [h.stopped.wait() for h in live]
+            try:
+                await asyncio.wait_for(asyncio.gather(*waits), timeout=30.0)
+            except asyncio.TimeoutError:  # pragma: no cover - wedged worker
+                pass
+        for handle in self._handles.values():
+            if handle.process.is_alive():
+                handle.process.join(timeout=5.0)
+            if handle.process.is_alive():  # pragma: no cover - wedged worker
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+            handle.outbox.put(None)  # release the reader if still blocked
+
+    # -- reporting -----------------------------------------------------------
+    def summary(self) -> dict:
+        """Measured-side metrics; see :mod:`repro.fleet.metrics`."""
+        from repro.fleet.metrics import fleet_summary
+
+        return fleet_summary(self)

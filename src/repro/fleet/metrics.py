@@ -1,0 +1,109 @@
+"""Measured-side metrics for one real fleet run.
+
+:func:`fleet_summary` renders the same headline shape as
+:func:`repro.cluster.metrics.cluster_summary`'s ``model`` section —
+makespan, throughput, latency percentiles, per-node load, imbalance,
+install share — but every number is **wall-clock measured**, taken from
+the :class:`~repro.cluster.records.JobRecord` rows the fleet produced.
+Sharing the record type (and the latency/imbalance/deadline helpers)
+with the sim is what makes the two sides directly comparable in
+:mod:`repro.fleet.validation`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.cluster.metrics import (
+    deadline_stats,
+    load_imbalance,
+    retry_stats,
+)
+from repro.cluster.records import JobRecord
+from repro.service.metrics import percentile
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.fleet.core import ProvingFleet
+
+
+def records_summary(records: list[JobRecord]) -> dict:
+    """Makespan/throughput/latency over any record list (sim or fleet)."""
+    makespan = max((r.finish_s for r in records), default=0.0)
+    latencies = [r.latency_s for r in records]
+    install_s = sum(r.install_model_s for r in records)
+    prove_s = sum(r.prove_model_s for r in records)
+    total_busy = install_s + prove_s
+    return {
+        "makespan_s": round(makespan, 6),
+        "throughput_jobs_per_s": (
+            round(len(records) / makespan, 3) if makespan > 0 else 0.0
+        ),
+        "latency_s": {
+            "p50": round(percentile(latencies, 50), 6),
+            "p95": round(percentile(latencies, 95), 6),
+            "max": round(max(latencies), 6) if latencies else 0.0,
+        },
+        "install_s": round(install_s, 6),
+        "prove_s": round(prove_s, 6),
+        "install_share": (
+            round(install_s / total_busy, 4) if total_busy > 0 else 0.0
+        ),
+    }
+
+
+def fleet_summary(fleet: "ProvingFleet") -> dict:
+    """One summary dict over a finished :class:`ProvingFleet` run."""
+    records = fleet.records
+    per_node_busy = {node_id: 0.0 for node_id in fleet.node_ids}
+    per_node_jobs = {node_id: 0 for node_id in fleet.node_ids}
+    per_node_hits = {node_id: 0 for node_id in fleet.node_ids}
+    for record in records:
+        busy = record.install_model_s + record.prove_model_s
+        per_node_busy[record.node_id] = (
+            per_node_busy.get(record.node_id, 0.0) + busy
+        )
+        per_node_jobs[record.node_id] = (
+            per_node_jobs.get(record.node_id, 0) + 1
+        )
+        if record.cache_hit:
+            per_node_hits[record.node_id] = (
+                per_node_hits.get(record.node_id, 0) + 1
+            )
+    hits = sum(per_node_hits.values())
+    doc = {
+        "policy": fleet.config.policy,
+        "nodes": fleet.config.num_nodes,
+        "jobs": len(records),
+        "measured": {
+            **records_summary(records),
+            "busy_s": {
+                node_id: round(busy, 6)
+                for node_id, busy in sorted(per_node_busy.items())
+            },
+            "load_imbalance": round(
+                load_imbalance(list(per_node_busy.values())), 4
+            ),
+        },
+        "cache": {
+            "hits": hits,
+            "misses": len(records) - hits,
+            "hit_rate": round(hits / len(records), 4) if records else 0.0,
+        },
+        "routing": {
+            "jobs_per_node": dict(sorted(per_node_jobs.items())),
+        },
+        "resilience": {
+            "crashes": fleet.crashes,
+            "retries": fleet.retries,
+            "requeues": fleet.requeues,
+            "parked": fleet.parked_count,
+            "exclusion_waivers": fleet.exclusion_waivers,
+            "failed_jobs": len(fleet.failed_jobs),
+            "lost_wall_s": round(fleet.lost_wall_s, 6),
+        },
+    }
+    if fleet.config.respect_arrivals:
+        doc["deadlines"] = deadline_stats(records, fleet.failed_jobs)
+    if fleet.crashes:
+        doc["retries"] = retry_stats(records)
+    return doc

@@ -43,7 +43,10 @@ from repro.service.workers import (
     SyncExecutor,
     ThreadExecutor,
     WorkerPool,
+    WorkerProbe,
+    WorkerState,
     make_executor,
+    worker_state,
 )
 
 __all__ = [
@@ -64,7 +67,10 @@ __all__ = [
     "ThreadExecutor",
     "TrafficGenerator",
     "WorkerPool",
+    "WorkerProbe",
+    "WorkerState",
     "make_executor",
+    "worker_state",
     "order_jobs",
     "percentile",
     "plan_batches",

@@ -119,6 +119,7 @@ class ProvingService:
             config.executor, config.num_workers,
             srs_seed=config.srs_seed, srs_max_vars=kzg.srs.max_vars,
             fixed_base=config.fixed_base_msm,
+            cache_capacity=config.cache_capacity,
         )
         self._pending: list[ProofJob] = []
         self._next_id = 0

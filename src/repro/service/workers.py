@@ -67,6 +67,9 @@ class TaskOutcome:
     finished_s: float
     prove_s: float
     counter: OpCounter | None = dc_field(default=None, repr=False)
+    #: seconds spent resolving the index locally (0.0 on a hit or when
+    #: the coordinator resolved it)
+    install_s: float = 0.0
 
 
 def _prove(task: ProveTask, index: ProverIndex, kzg: MultilinearKZG,
@@ -105,17 +108,102 @@ def inline_prove(task: ProveTask, kzg: MultilinearKZG,
 
 # -- process-worker side ----------------------------------------------------
 
-_WORKER_KZG: MultilinearKZG | None = None
-_WORKER_CACHE: IndexCache | None = None
+@dataclass(frozen=True)
+class WorkerProbe:
+    """A picklable snapshot of one worker process's persistent state.
+
+    The regression contract rides on ``srs_builds``: a persistent
+    worker builds its seeded SRS **exactly once** at startup and reuses
+    it for every batch it ever proves
+    (``tests/test_service_workers.py`` locks this down).
+    """
+
+    worker_id: str
+    pid: int
+    #: times this process constructed an SRS — must stay 1 for its life
+    srs_builds: int
+    cache_capacity: int | None
+    cache_len: int
+    cache_hits: int
+    cache_misses: int
+    jobs_proved: int
+
+
+class WorkerState:
+    """The build-once proving state one persistent worker process owns.
+
+    One seeded :class:`TrapdoorSRS`/:class:`MultilinearKZG` (identical
+    to the coordinator's, since the trapdoor SRS is deterministic in
+    the seed) plus a *bounded* worker-local :class:`IndexCache`.
+    Constructing the state is the only place an SRS is ever built on
+    the worker side; ``srs_builds`` counts constructions so tests and
+    probes can assert the build-once invariant.  Both the service's
+    :class:`ProcessExecutor` workers and the :mod:`repro.fleet` node
+    workers own exactly one of these.
+    """
+
+    def __init__(self, srs_seed: int, srs_max_vars: int,
+                 fixed_base: bool = True,
+                 cache_capacity: int | None = None):
+        self.params = (srs_seed, srs_max_vars, fixed_base, cache_capacity)
+        srs = TrapdoorSRS(srs_max_vars, random.Random(srs_seed))
+        self.kzg = MultilinearKZG(srs, fixed_base=fixed_base)
+        self.cache = IndexCache(self.kzg, capacity=cache_capacity)
+        self.srs_builds = 1
+        self.jobs_proved = 0
+
+    def prove(self, task: ProveTask,
+              worker_id: str | None = None) -> TaskOutcome:
+        """Prove ``task`` against this state, resolving the index locally."""
+        _canonicalize_field(task.circuit)
+        t0 = time.perf_counter()
+        pidx, _, hit = self.cache.get(task.circuit, task.circuit_key)
+        install_s = 0.0 if hit else time.perf_counter() - t0
+        self.jobs_proved += 1
+        wid = worker_id or f"pid-{os.getpid()}"
+        outcome = _prove(task, pidx, self.kzg, wid, hit)
+        outcome.install_s = install_s
+        return outcome
+
+    def probe(self, worker_id: str | None = None) -> WorkerProbe:
+        """Snapshot this state for the coordinator (picklable)."""
+        return WorkerProbe(
+            worker_id=worker_id or f"pid-{os.getpid()}",
+            pid=os.getpid(),
+            srs_builds=self.srs_builds,
+            cache_capacity=self.cache.capacity,
+            cache_len=len(self.cache),
+            cache_hits=self.cache.stats.hits,
+            cache_misses=self.cache.stats.misses,
+            jobs_proved=self.jobs_proved,
+        )
+
+
+_WORKER_STATE: WorkerState | None = None
+
+
+def worker_state(srs_seed: int, srs_max_vars: int, fixed_base: bool = True,
+                 cache_capacity: int | None = None) -> WorkerState:
+    """This process's persistent :class:`WorkerState`, built on first use.
+
+    Re-invocations with the same parameters return the existing state
+    untouched — the guard that makes the SRS build-once even if a pool
+    re-runs its initializer.
+    """
+    global _WORKER_STATE
+    params = (srs_seed, srs_max_vars, fixed_base, cache_capacity)
+    if _WORKER_STATE is None or _WORKER_STATE.params != params:
+        _WORKER_STATE = WorkerState(
+            srs_seed, srs_max_vars, fixed_base, cache_capacity
+        )
+    return _WORKER_STATE
 
 
 def _init_process_worker(srs_seed: int, srs_max_vars: int,
-                         fixed_base: bool = True) -> None:
+                         fixed_base: bool = True,
+                         cache_capacity: int | None = None) -> None:
     """Rebuild the coordinator's KZG deterministically in this worker."""
-    global _WORKER_KZG, _WORKER_CACHE
-    srs = TrapdoorSRS(srs_max_vars, random.Random(srs_seed))
-    _WORKER_KZG = MultilinearKZG(srs, fixed_base=fixed_base)
-    _WORKER_CACHE = IndexCache(_WORKER_KZG)
+    worker_state(srs_seed, srs_max_vars, fixed_base, cache_capacity)
 
 
 def _canonicalize_field(circuit: Circuit) -> None:
@@ -129,11 +217,16 @@ def _canonicalize_field(circuit: Circuit) -> None:
 
 def process_prove(task: ProveTask) -> TaskOutcome:
     """Prove a task in a pool process, resolving the index locally."""
-    if _WORKER_KZG is None or _WORKER_CACHE is None:
+    if _WORKER_STATE is None:
         raise RuntimeError("process worker used before initialization")
-    _canonicalize_field(task.circuit)
-    pidx, _, hit = _WORKER_CACHE.get(task.circuit, task.circuit_key)
-    return _prove(task, pidx, _WORKER_KZG, f"pid-{os.getpid()}", hit)
+    return _WORKER_STATE.prove(task)
+
+
+def process_probe() -> WorkerProbe:
+    """Snapshot the calling pool process's worker state."""
+    if _WORKER_STATE is None:
+        raise RuntimeError("process worker used before initialization")
+    return _WORKER_STATE.probe()
 
 
 # -- pools ------------------------------------------------------------------
@@ -189,12 +282,13 @@ class ProcessExecutor(WorkerPool):
     kind = "process"
 
     def __init__(self, num_workers: int, srs_seed: int, srs_max_vars: int,
-                 fixed_base: bool = True):
+                 fixed_base: bool = True,
+                 cache_capacity: int | None = None):
         super().__init__(num_workers)
         self._pool = ProcessPoolExecutor(
             max_workers=num_workers,
             initializer=_init_process_worker,
-            initargs=(srs_seed, srs_max_vars, fixed_base),
+            initargs=(srs_seed, srs_max_vars, fixed_base, cache_capacity),
         )
 
     def run_tasks(self, tasks, kzg):
@@ -203,6 +297,18 @@ class ProcessExecutor(WorkerPool):
         for t in tasks:
             t.index = None
         return list(self._pool.map(process_prove, tasks))
+
+    def probe(self) -> list[WorkerProbe]:
+        """Snapshot worker states (one probe per pool slot).
+
+        With one worker the snapshot is exact; with more, an idle
+        worker may answer twice, so treat multi-worker probes as a
+        sample, not a census.
+        """
+        futures = [
+            self._pool.submit(process_probe) for _ in range(self.num_workers)
+        ]
+        return [future.result() for future in futures]
 
     def close(self):
         self._pool.shutdown(wait=True)
@@ -213,7 +319,8 @@ EXECUTOR_KINDS = ("sync", "thread", "process")
 
 def make_executor(kind: str, num_workers: int, *, srs_seed: int | None = None,
                   srs_max_vars: int | None = None,
-                  fixed_base: bool = True) -> WorkerPool:
+                  fixed_base: bool = True,
+                  cache_capacity: int | None = None) -> WorkerPool:
     if kind == "sync":
         return SyncExecutor()
     if kind == "thread":
@@ -224,5 +331,7 @@ def make_executor(kind: str, num_workers: int, *, srs_seed: int | None = None,
                 "process executor needs a service-owned SRS "
                 "(srs_seed + srs_max_vars) so workers can rebuild it"
             )
-        return ProcessExecutor(num_workers, srs_seed, srs_max_vars, fixed_base)
+        return ProcessExecutor(
+            num_workers, srs_seed, srs_max_vars, fixed_base, cache_capacity
+        )
     raise ValueError(f"unknown executor {kind!r}; choose from {EXECUTOR_KINDS}")

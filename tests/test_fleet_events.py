@@ -1,0 +1,105 @@
+"""The shared event-log schema: replay determinism and round-trips.
+
+ISSUE 7 satellite: both runtimes emit one :class:`FleetEvent` schema.
+The sim engine's log is stamped in model time, so the determinism
+contract is strong — same seed, same churn trace ⇒ **bit-identical**
+JSONL, line for line.  These tests lock that down, plus the schema's
+serialization round-trip and the emit-time validation.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, NodeConfig, ProvingCluster
+from repro.fleet.events import EVENT_KINDS, EventLog, FleetEvent
+from repro.service.traffic import TrafficGenerator
+from repro.workloads import ChurnEvent
+
+CHURN = (
+    ChurnEvent(0.6, 1, "crash"),
+    ChurnEvent(1.2, 1, "recover"),
+    ChurnEvent(1.35, 0, "crash"),
+    ChurnEvent(2.0, 0, "recover"),
+)
+
+
+def scenario_log(seed: int = 11) -> EventLog:
+    generator = TrafficGenerator("zipf-mixed", seed=seed)
+    config = ClusterConfig(
+        num_nodes=2,
+        policy="affinity",
+        time_model="functional",
+        max_retries=3,
+        node=NodeConfig(max_vars=generator.max_vars()),
+    )
+    with ProvingCluster(config) as cluster:
+        cluster.run_scenario(generator.jobs(16), churn=CHURN)
+        return cluster.events
+
+
+class TestSimReplay:
+    def test_same_seed_same_churn_replays_bit_identically(self):
+        first, second = scenario_log(seed=11), scenario_log(seed=11)
+        assert EventLog.replay_identical(first, second)
+        assert first.to_jsonl() == second.to_jsonl()
+
+    def test_different_seed_diverges(self):
+        assert not EventLog.replay_identical(
+            scenario_log(seed=11), scenario_log(seed=12)
+        )
+
+    def test_scenario_log_covers_failure_lifecycle(self):
+        kinds = scenario_log(seed=11).kinds()
+        assert kinds["node_down"] == 2
+        assert kinds["node_up"] >= 2  # recoveries (+ initial fleet is sim-up)
+        assert kinds["job_crashed"] >= 1
+        assert kinds["job_retried"] >= 1
+        assert kinds["job_accepted"] == 16
+        assert kinds["job_completed"] + kinds.get("job_failed", 0) == 16
+
+    def test_crashed_job_lifecycle_is_ordered(self):
+        log = scenario_log(seed=11)
+        crashed_ids = {
+            e.job_id for e in log if e.kind == "job_crashed"
+        }
+        for job_id in crashed_ids:
+            kinds = [e.kind for e in log.for_job(job_id)]
+            assert kinds[0] == "job_accepted"
+            assert kinds[-1] in ("job_completed", "job_failed")
+            assert "job_crashed" in kinds
+
+
+class TestSchema:
+    def test_jsonl_round_trip(self):
+        log = EventLog()
+        log.emit("job_accepted", job_id=0, tag="t")
+        log.emit("job_assigned", job_id=0, node_id="node-1", attempt=1)
+        log.emit("node_down", node_id="node-1", reason="crash")
+        replayed = EventLog.loads(log.to_jsonl())
+        assert EventLog.replay_identical(log, replayed)
+        assert replayed[1].detail == {}
+        assert replayed[2].detail == {"reason": "crash"}
+
+    def test_write_and_load(self, tmp_path):
+        log = EventLog(clock=lambda: 2.5)
+        log.emit("job_completed", job_id=3, node_id="node-0", cache_hit=True)
+        path = tmp_path / "events.jsonl"
+        log.write(path)
+        (event,) = EventLog.load(path)
+        assert event == FleetEvent(
+            seq=0,
+            at_s=2.5,
+            kind="job_completed",
+            job_id=3,
+            node_id="node-0",
+            detail={"cache_hit": True},
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventLog().emit("job_teleported")
+
+    def test_sequence_numbers_total_order_equal_stamps(self):
+        log = EventLog()  # default clock stamps everything 0.0
+        for kind in EVENT_KINDS:
+            log.emit(kind)
+        assert [e.seq for e in log] == list(range(len(EVENT_KINDS)))

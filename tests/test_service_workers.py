@@ -1,0 +1,94 @@
+"""Persistent worker state: the build-once SRS contract.
+
+ISSUE 7 satellite: a persistent worker process constructs its seeded
+SRS exactly once and reuses it for every batch it ever proves — and
+the worker-local index cache honours the service's configured bound
+(the latent bug this PR fixed: ``ProvingService`` never forwarded
+``cache_capacity`` to its process workers, leaving them unbounded).
+"""
+
+import pytest
+
+from repro.service.core import ProvingService, ServiceConfig
+from repro.service.traffic import TrafficGenerator
+from repro.service.workers import ProveTask, WorkerState, worker_state
+
+MAX_VARS = 4
+
+
+def tasks(n: int, start_id: int = 0) -> list[ProveTask]:
+    jobs = TrafficGenerator("uniform-small", seed=3).jobs(n)
+    return [
+        ProveTask(
+            job_id=start_id + i,
+            circuit=job.circuit,
+            backend="fused",
+            circuit_key=job.circuit_key,
+        )
+        for i, job in enumerate(jobs)
+    ]
+
+
+class TestWorkerState:
+    def test_srs_built_once_across_batches(self):
+        state = WorkerState(0x5EED, MAX_VARS + 1, cache_capacity=4)
+        for batch in (tasks(2), tasks(2, start_id=2)):
+            for task in batch:
+                outcome = state.prove(task)
+                assert outcome.proof is not None
+        assert state.srs_builds == 1
+        assert state.jobs_proved == 4
+
+    def test_repeat_circuit_hits_cache_with_zero_install(self):
+        state = WorkerState(0x5EED, MAX_VARS + 1, cache_capacity=4)
+        first, second = tasks(1)[0], tasks(1)[0]
+        miss = state.prove(first)
+        hit = state.prove(second)
+        assert not miss.cache_hit and miss.install_s > 0.0
+        assert hit.cache_hit and hit.install_s == 0.0
+
+    def test_worker_state_guard_reuses_same_params(self):
+        a = worker_state(0x5EED, MAX_VARS + 1, cache_capacity=2)
+        b = worker_state(0x5EED, MAX_VARS + 1, cache_capacity=2)
+        assert a is b
+        c = worker_state(0x5EED, MAX_VARS + 1, cache_capacity=3)
+        assert c is not a
+
+    def test_probe_snapshot_reflects_state(self):
+        state = WorkerState(0x5EED, MAX_VARS + 1, cache_capacity=4)
+        state.prove(tasks(1)[0])
+        probe = state.probe(worker_id="w-0")
+        assert probe.worker_id == "w-0"
+        assert probe.srs_builds == 1
+        assert probe.jobs_proved == 1
+        assert probe.cache_capacity == 4
+        assert probe.cache_len == 1
+
+
+class TestProcessExecutor:
+    @pytest.fixture(scope="class")
+    def service(self):
+        config = ServiceConfig(
+            max_vars=MAX_VARS,
+            executor="process",
+            num_workers=1,
+            cache_capacity=3,
+            default_backend="fused",
+        )
+        with ProvingService(config) as svc:
+            yield svc
+
+    def test_two_batches_one_srs_construction(self, service):
+        generator = TrafficGenerator("uniform-small", seed=3)
+        jobs = generator.jobs(4)
+        first = service.run(jobs[:2])
+        second = service.run(jobs[2:])
+        assert len(first) == 2 and len(second) == 2
+        (probe,) = service.pool.probe()
+        assert probe.srs_builds == 1
+        assert probe.jobs_proved == 4
+
+    def test_worker_cache_is_bounded_by_service_config(self, service):
+        (probe,) = service.pool.probe()
+        assert probe.cache_capacity == 3
+        assert probe.cache_len <= 3
