@@ -162,6 +162,57 @@ SPECS: dict[str, Spec] = {
             "sweep[*].cache_hit_rate",
         ],
     ),
+    "BENCH_traffic.json": Spec(
+        # the sim_core fired/clock/probe triple and every open_loop
+        # count are pure model values (no wall clock), so they are
+        # pinned exactly; only the events/sec speedup is machine-
+        # sensitive, and the goodput/fairness rates follow the standing
+        # rates-are-ratios tolerance policy
+        exact=[
+            "benchmark",
+            "unit",
+            "sim_core.workload",
+            "sim_core.events",
+            "sim_core.legacy_events",
+            "sim_core.speedup_floor",
+            "sim_core.fired",
+            "sim_core.final_clock_s",
+            "sim_core.len_probe",
+            "sim_core.legacy_fired",
+            "sim_core.legacy_final_clock_s",
+            "sim_core.legacy_len_probe",
+            "open_loop.scenario",
+            "open_loop.seed",
+            "open_loop.jobs",
+            "open_loop.rate_rps",
+            "open_loop.nodes",
+            "open_loop.policy",
+            "open_loop.tenants",
+            "open_loop.admission_window_s",
+            "open_loop.goodput_floor",
+            "open_loop.admission.offered",
+            "open_loop.admission.admitted",
+            "open_loop.admission.shed",
+            "open_loop.admission.completed",
+            "open_loop.admission.failed",
+            "open_loop.admission.shed_by_tenant.*",
+            "open_loop.no_admission.offered",
+            "open_loop.no_admission.shed",
+            "open_loop.no_admission.completed",
+            "open_loop.no_admission.failed",
+        ],
+        ratio=[
+            "sim_core.speedup",
+            "open_loop.goodput_improvement",
+            "open_loop.admission.goodput_jobs_per_s",
+            "open_loop.admission.slo_attainment",
+            "open_loop.admission.shed_rate",
+            "open_loop.admission.jain_fairness",
+            "open_loop.no_admission.goodput_jobs_per_s",
+            "open_loop.no_admission.slo_attainment",
+            "open_loop.no_admission.jain_fairness",
+        ],
+    ),
     "BENCH_fleet.json": Spec(
         # wall-clock numbers, rankings, and significant-pair lists are
         # machine-dependent (core count changes which regime the

@@ -1,0 +1,120 @@
+"""The pre-fast-path discrete-event engine, vendored as a bench baseline.
+
+This is a verbatim copy of ``repro.sim.engine`` as it stood before the
+million-event fast path landed (PR 8): ``__len__`` scans the whole heap,
+cancelled entries linger until popped, every ``schedule`` allocates an
+:class:`EventHandle`, and ``run`` performs a ``peek_time`` pass plus a
+``step`` pass per event.  ``benchmarks/test_traffic_openloop.py`` drives
+the same churn-heavy scenario through this engine and the live one to
+record the events/sec speedup in ``BENCH_traffic.json`` — the baseline
+must stay frozen so the ratio keeps measuring the same thing.
+
+Never import this from ``src/``; it exists only for the benchmark.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+#: default event priority; lower fires first among same-time events
+DEFAULT_PRIORITY = 0
+
+
+class LegacyEventHandle:
+    """A scheduled event that can be cancelled before it fires."""
+
+    __slots__ = ("time", "priority", "seq", "action", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        action: Callable[[], None],
+    ):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Void the event; it stays in the heap but will not fire."""
+        self.cancelled = True
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return f"LegacyEventHandle(t={self.time:.6f}, seq={self.seq}, {state})"
+
+
+class LegacySimulator:
+    """The pre-PR discrete-event loop (see the module docstring)."""
+
+    def __init__(self, start_s: float = 0.0):
+        self.now = start_s
+        self._heap: list[tuple[float, int, int, LegacyEventHandle]] = []
+        self._seq = 0
+        #: events fired so far (cancelled events excluded)
+        self.fired = 0
+
+    def __len__(self) -> int:
+        return sum(1 for *_, h in self._heap if not h.cancelled)
+
+    def schedule(
+        self,
+        at_s: float,
+        action: Callable[[], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> LegacyEventHandle:
+        """Schedule ``action`` at absolute model time ``at_s``."""
+        if at_s < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (now={self.now}, at={at_s})"
+            )
+        handle = LegacyEventHandle(at_s, priority, self._seq, action)
+        heapq.heappush(self._heap, (at_s, priority, self._seq, handle))
+        self._seq += 1
+        return handle
+
+    def schedule_after(
+        self,
+        delay_s: float,
+        action: Callable[[], None],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+    ) -> LegacyEventHandle:
+        """Schedule ``action`` ``delay_s`` model seconds from now."""
+        if delay_s < 0:
+            raise ValueError(f"delay must be >= 0, got {delay_s}")
+        return self.schedule(self.now + delay_s, action, priority=priority)
+
+    def peek_time(self) -> float | None:
+        """Model time of the next live event (None if the heap is empty)."""
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Fire the next live event; False when nothing is left."""
+        while self._heap:
+            _, _, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self.now = handle.time
+            self.fired += 1
+            handle.action()
+            return True
+        return False
+
+    def run(self, until_s: float | None = None) -> float:
+        """Fire events until the heap drains (or past ``until_s``)."""
+        while True:
+            next_time = self.peek_time()
+            if next_time is None:
+                return self.now
+            if until_s is not None and next_time > until_s:
+                self.now = until_s
+                return self.now
+            self.step()

@@ -83,6 +83,19 @@ def rate_fraction(text: str) -> float:
     return value
 
 
+def multiplier(text: str) -> float:
+    """A finite float >= 1 (burst multipliers and similar scale-ups)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not math.isfinite(value) or value < 1:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a finite number >= 1"
+        )
+    return value
+
+
 def cache_capacity(text: str) -> int | None:
     """LRU cache capacity: a positive entry count, or 0 for unbounded.
 

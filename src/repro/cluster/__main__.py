@@ -24,6 +24,7 @@ from repro.cli import (
     backend_choices,
     cache_capacity,
     int_list,
+    multiplier,
     nonnegative_float,
     nonnegative_int,
     positive_float,
@@ -199,6 +200,54 @@ def build_parser() -> argparse.ArgumentParser:
         "(registry-sourced; optional backends appear when installed)",
     )
     parser.add_argument(
+        "--open-loop",
+        action="store_true",
+        help="run the open-loop multi-tenant traffic path "
+        "(repro.traffic) instead of replaying a closed batch",
+    )
+    parser.add_argument(
+        "--rate-rps",
+        type=positive_float,
+        default=None,
+        help="open-loop base arrival rate (default: the scenario's)",
+    )
+    parser.add_argument(
+        "--horizon-s",
+        type=positive_float,
+        default=None,
+        help="open-loop model-time horizon (default: stop after --jobs)",
+    )
+    parser.add_argument(
+        "--tenants",
+        type=positive_int,
+        default=3,
+        help="open-loop tenant count (Zipf weights, cycling SLO tiers)",
+    )
+    parser.add_argument(
+        "--admission",
+        action="store_true",
+        help="gate open-loop arrivals through the admission controller "
+        "(budgeted shedding + backpressure); requires --open-loop",
+    )
+    parser.add_argument(
+        "--admission-window",
+        type=positive_float,
+        default=10.0,
+        help="admission budget horizon in model seconds per up node",
+    )
+    parser.add_argument(
+        "--diurnal-amplitude",
+        type=rate_fraction,
+        default=0.5,
+        help="open-loop diurnal rate swing, a fraction in [0, 1)",
+    )
+    parser.add_argument(
+        "--burst-mult",
+        type=multiplier,
+        default=3.0,
+        help="open-loop burst-window rate multiplier (>= 1)",
+    )
+    parser.add_argument(
         "--respect-arrivals",
         action="store_true",
         help="let node clocks idle until each job's model-time arrival "
@@ -263,6 +312,94 @@ def run_cell(args, num_nodes: int, policy: str) -> dict:
         return cluster.summary()
 
 
+def run_open_loop_cell(args, num_nodes: int, policy: str) -> dict:
+    """One (nodes, policy) open-loop cell; returns its traffic summary."""
+    # imported here so the closed-batch sweep keeps its import surface
+    from repro.cluster.admission import AdmissionPolicy
+    from repro.traffic import (
+        OpenLoopEngine,
+        OpenLoopTraffic,
+        default_tenants,
+        make_admission,
+        traffic_summary,
+    )
+
+    traffic = OpenLoopTraffic(
+        args.scenario,
+        seed=args.seed,
+        tenants=default_tenants(args.tenants),
+        rate_rps=args.rate_rps,
+        diurnal_amplitude=args.diurnal_amplitude,
+        burst_mult=args.burst_mult,
+        max_jobs=None if args.horizon_s is not None else args.jobs,
+        horizon_s=args.horizon_s,
+    )
+    config = ClusterConfig(
+        num_nodes=num_nodes,
+        policy=policy,
+        time_model=args.time_model,
+        replicas=args.replicas,
+        max_retries=args.max_retries,
+        node=NodeConfig(
+            cache_capacity=args.cache_capacity,
+            max_vars=traffic.max_vars(),
+        ),
+    )
+    with ProvingCluster(config) as cluster:
+        admission = None
+        if args.admission:
+            admission = make_admission(
+                cluster,
+                AdmissionPolicy(window_s=args.admission_window),
+                traffic.tenants,
+            )
+        engine = OpenLoopEngine(cluster, traffic, admission=admission)
+        churn = ()
+        if args.churn_rate > 0:
+            churn = trace_for_downtime(
+                num_nodes,
+                args.horizon_s,
+                downtime_fraction=args.churn_rate,
+                mttr_s=args.churn_mttr,
+                seed=args.churn_seed,
+            )
+        engine.run_open_loop(churn=churn)
+        summary = traffic_summary(engine)
+        summary["nodes"] = num_nodes
+        summary["policy"] = policy
+        return summary
+
+
+def print_open_loop(args, rows: list[dict]) -> None:
+    """The open-loop table: goodput, shedding, SLO, tail, fairness."""
+    scenario = SCENARIOS[args.scenario]
+    print(
+        f"scenario   : {args.scenario} ({scenario.description})\n"
+        f"open loop  : rate {args.rate_rps or scenario.rate_rps} rps   "
+        f"tenants: {args.tenants}   "
+        f"admission: {'on' if args.admission else 'off'}   "
+        f"seed: {args.seed}"
+    )
+    header = (
+        f"{'nodes':>5}  {'policy':<12} {'offered':>8} {'shed%':>6} "
+        f"{'goodput':>8} {'slo%':>6} {'p99':>9} {'jain':>5} {'pauses':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        model = row["model"]
+        print(
+            f"{row['nodes']:>5}  {row['policy']:<12} "
+            f"{row['offered']:>8} "
+            f"{row['shed_rate'] * 100:>5.1f}% "
+            f"{model['goodput_jobs_per_s']:>8.2f} "
+            f"{model['slo_attainment'] * 100:>5.1f}% "
+            f"{model['latency_s']['p99']:>8.3f}s "
+            f"{row['jain_fairness']:>5.2f} "
+            f"{row['pauses']:>6}"
+        )
+
+
 def main(argv: list[str] | None = None) -> int:
     """Run the sweep and print (or JSON-dump) one row per cell."""
     parser = build_parser()
@@ -272,6 +409,31 @@ def main(argv: list[str] | None = None) -> int:
             f"--scale-in-s ({args.scale_in_s}) must be below "
             f"--scale-out-s ({args.scale_out_s})"
         )
+    if args.admission and not args.open_loop:
+        parser.error("--admission requires --open-loop")
+    if args.open_loop and args.execute:
+        parser.error("--open-loop is a model-time path; drop --execute")
+    if args.open_loop and args.autoscale:
+        parser.error(
+            "--open-loop does not take --autoscale (admission and "
+            "backpressure bound the backlog instead)"
+        )
+    if args.open_loop and args.churn_rate > 0 and args.horizon_s is None:
+        parser.error("--open-loop with --churn-rate needs --horizon-s "
+                     "to size the churn trace")
+    if args.open_loop:
+        rows = [
+            run_open_loop_cell(args, num_nodes, policy)
+            for num_nodes in sorted(args.nodes)
+            for policy in args.policies
+        ]
+        if args.json:
+            print(
+                json.dumps({"scenario": args.scenario, "rows": rows}, indent=2)
+            )
+        else:
+            print_open_loop(args, rows)
+        return 0
     rows = [
         run_cell(args, num_nodes, policy)
         for num_nodes in sorted(args.nodes)

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from repro.cluster.nodes import JobRecord, ProverNode
 from repro.service.cache import CacheStats
-from repro.service.metrics import percentile
+from repro.service.metrics import percentile, percentiles
 
 
 def _aggregate_stats(stats: list[CacheStats]) -> dict:
@@ -125,6 +125,9 @@ def cluster_summary(
     makespan = max((r.finish_s for r in records), default=0.0)
     busy = [node.busy_s for node in nodes]
     latencies = [r.latency_s for r in records]
+    lat_p50, lat_p95, lat_p99, lat_p99_9 = percentiles(
+        latencies, (50, 95, 99, 99.9)
+    )
     install_s = sum(r.install_model_s for r in records)
     prove_s = sum(r.prove_model_s for r in records)
     total_busy = install_s + prove_s
@@ -139,8 +142,10 @@ def cluster_summary(
                 round(len(records) / makespan, 3) if makespan > 0 else 0.0
             ),
             "latency_s": {
-                "p50": round(percentile(latencies, 50), 6),
-                "p95": round(percentile(latencies, 95), 6),
+                "p50": round(lat_p50, 6),
+                "p95": round(lat_p95, 6),
+                "p99": round(lat_p99, 6),
+                "p99_9": round(lat_p99_9, 6),
                 "max": round(max(latencies), 6) if latencies else 0.0,
             },
             "busy_s": {n.node_id: round(n.busy_s, 6) for n in nodes},

@@ -25,6 +25,7 @@ this down.
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -149,7 +150,12 @@ class ProverNode:
         self.records: list[JobRecord] = []
         self.results: list[ProofResult] = []
         self.in_flight: InFlightJob | None = None
-        self._pending: list[ProofJob] = []
+        # pending queue: insertion-ordered dict (crash requeue order)
+        # plus a (key, job_id) heap for O(log q) peek/begin; heap
+        # entries for started jobs are dropped lazily in peek_next
+        self._pending: dict[int, ProofJob] = {}
+        self._pending_heap: list[tuple[float, int]] = []
+        self._queue_respect = False
         #: jobs completed in model time but not yet really proven
         self._to_execute: list[ProofJob] = []
         self.service: ProvingService | None = None
@@ -178,22 +184,41 @@ class ProverNode:
 
     def submit(self, job: ProofJob) -> None:
         """Queue ``job`` on this node (the router already chose it)."""
-        self._pending.append(job)
+        self._pending[job.job_id] = job
+        arrival = job.arrival_s if self._queue_respect else 0.0
+        heapq.heappush(self._pending_heap, (arrival, job.job_id))
         self.shapes_seen.add(job.circuit_key)
 
     # -- event-engine primitives --------------------------------------------
-    @staticmethod
-    def _queue_key(job: ProofJob, respect_arrivals: bool) -> tuple:
-        arrival = job.arrival_s if respect_arrivals else 0.0
-        return (arrival, job.job_id)
+    def _rekey_queue(self, respect_arrivals: bool) -> None:
+        """Rebuild the queue heap under the other arrival mode.
+
+        The queue orders by ``(arrival, job_id)`` when arrivals are
+        respected and ``(0, job_id)`` otherwise; a run uses one mode
+        throughout, so this fires at most once per node per run.
+        """
+        self._queue_respect = respect_arrivals
+        self._pending_heap = [
+            (job.arrival_s if respect_arrivals else 0.0, job_id)
+            for job_id, job in self._pending.items()
+        ]
+        heapq.heapify(self._pending_heap)
 
     def peek_next(self, *, respect_arrivals: bool = False) -> ProofJob | None:
         """The queued job the node would start next (None if empty)."""
         if not self._pending:
             return None
-        return min(
-            self._pending, key=lambda j: self._queue_key(j, respect_arrivals)
-        )
+        if respect_arrivals != self._queue_respect:
+            self._rekey_queue(respect_arrivals)
+        heap = self._pending_heap
+        pending = self._pending
+        while heap:
+            job = pending.get(heap[0][1])
+            if job is None:
+                heapq.heappop(heap)
+                continue
+            return job
+        return None
 
     def begin(
         self, job: ProofJob, now_s: float, *, respect_arrivals: bool = False
@@ -209,7 +234,9 @@ class ProverNode:
             raise RuntimeError(f"node {self.node_id} is down")
         if self.in_flight is not None:
             raise RuntimeError(f"node {self.node_id} is already proving")
-        self._pending.remove(job)
+        if respect_arrivals != self._queue_respect:
+            self._rekey_queue(respect_arrivals)
+        del self._pending[job.job_id]
         arrival = job.arrival_s if respect_arrivals else 0.0
         start = max(self.clock_s, arrival, now_s if respect_arrivals else 0.0)
         install = 0.0
@@ -281,7 +308,9 @@ class ProverNode:
         self.crashes += 1
         self.clock_s = max(self.clock_s, now_s)
         self.sim_cache.clear()
-        requeued, self._pending = self._pending, []
+        requeued = list(self._pending.values())
+        self._pending.clear()
+        self._pending_heap.clear()
         return requeued
 
     def recover(self, now_s: float) -> None:

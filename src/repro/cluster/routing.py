@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import bisect
 import hashlib
+import heapq
 from typing import Iterable
 
 from repro.plan.cost import FunctionalProverCostModel, OutstandingCost, ShapeCostModel
@@ -184,6 +185,11 @@ class ClusterRouter:
             self.outstanding.track(node_id)
         self._down: set[str] = set()
         self._rr_next = 0
+        # least_loaded argmin index: (cost, node_id) entries with lazy
+        # invalidation — every cost change pushes a fresh entry, stale
+        # ones are dropped when they surface (see _select_least_loaded)
+        self._load_heap: list[tuple[float, str]] = []
+        self._rebuild_load_index()
 
     @property
     def node_ids(self) -> list[str]:
@@ -205,6 +211,66 @@ class ClusterRouter:
         """Predicted outstanding prove seconds per member node."""
         return self.outstanding.per_node_s
 
+    # -- least_loaded index --------------------------------------------------
+    def _rebuild_load_index(self) -> None:
+        """Re-seed the argmin heap with one current entry per up node."""
+        node_s = self.outstanding.node_s
+        self._load_heap = [
+            (node_s(n), n) for n in self._node_ids if n not in self._down
+        ]
+        heapq.heapify(self._load_heap)
+
+    def _reindex_load(self, node_id: str) -> None:
+        """Push ``node_id``'s current cost after any cost change.
+
+        Old entries for the node become stale (their cost no longer
+        matches) and are dropped lazily; a periodic rebuild bounds the
+        garbage at a small multiple of the member count.
+        """
+        heap = self._load_heap
+        if len(heap) > max(64, 8 * len(self._node_ids)):
+            self._rebuild_load_index()
+            return
+        heapq.heappush(heap, (self.outstanding.node_s(node_id), node_id))
+
+    def _select_least_loaded(self, exclude: Iterable[str]) -> str:
+        """Heap argmin over predicted outstanding cost.
+
+        An entry is *current* iff its node is a live up member and its
+        cost equals the node's outstanding cost right now; anything
+        else is stale garbage and is popped.  Current entries for
+        excluded nodes are held aside and re-pushed, so the result is
+        exactly the ``min((cost, node_id))`` of the old O(N) scan —
+        including the node-id tie-break — at O(log n) amortized.
+        """
+        excluded = set(exclude)
+        heap = self._load_heap
+        outstanding = self.outstanding
+        node_s = outstanding.node_s
+        down = self._down
+        held: list[tuple[float, str]] = []
+        chosen: str | None = None
+        while heap:
+            cost, node = heap[0]
+            if node not in outstanding or node in down or cost != node_s(node):
+                heapq.heappop(heap)
+                continue
+            if node in excluded:
+                held.append(heapq.heappop(heap))
+                continue
+            chosen = node
+            break
+        for entry in held:
+            heapq.heappush(heap, entry)
+        if chosen is None:
+            # the index only runs dry when nothing is routable —
+            # _candidates then raises the canonical error; otherwise
+            # (an index bug) re-seed and fall back to the exact scan
+            candidates = self._candidates(exclude)
+            self._rebuild_load_index()
+            return min(candidates, key=lambda n: (node_s(n), n))
+        return chosen
+
     def add_node(self, node_id: str) -> None:
         """Join ``node_id`` as an up member."""
         if node_id in self.outstanding:
@@ -212,6 +278,7 @@ class ClusterRouter:
         self.ring.add_node(node_id)
         self._node_ids = sorted(self._node_ids + [node_id])
         self.outstanding.track(node_id)
+        self._reindex_load(node_id)
         self._rr_next = 0
 
     def remove_node(self, node_id: str) -> None:
@@ -254,6 +321,7 @@ class ClusterRouter:
             raise ValueError(f"node {node_id!r} is not down")
         self._down.discard(node_id)
         self.ring.add_node(node_id)
+        self._reindex_load(node_id)
         self._rr_next = 0
 
     # -- assignment ----------------------------------------------------------
@@ -283,13 +351,14 @@ class ClusterRouter:
         uses it so a requeued job cannot return to the node that lost
         it, even if that node recovered in the meantime.
         """
+        if self.policy == "least_loaded":
+            # argmin outstanding, ties break by node id order — via the
+            # lazy heap index, no per-assign scan of the member list
+            return self._select_least_loaded(exclude)
         candidates = self._candidates(exclude)
         if self.policy == "round_robin":
             return candidates[self._rr_next % len(candidates)]
-        if self.policy == "affinity":
-            return self.ring.node_for(job.circuit_key, exclude=exclude)
-        # least_loaded: argmin outstanding, ties break by node id order
-        return min(candidates, key=lambda n: (self.outstanding.node_s(n), n))
+        return self.ring.node_for(job.circuit_key, exclude=exclude)
 
     def assign(self, job: ProofJob, *, exclude: Iterable[str] = ()) -> str:
         """Route ``job``: pick a node and record its predicted cost."""
@@ -297,6 +366,8 @@ class ClusterRouter:
         if self.policy == "round_robin":
             self._rr_next = (self._rr_next + 1) % len(self._candidates(exclude))
         self.outstanding.add(node_id, job)
+        if self.policy == "least_loaded":
+            self._reindex_load(node_id)
         return node_id
 
     def release(self, node_id: str, cost_s: float | None = None) -> None:
@@ -304,6 +375,8 @@ class ClusterRouter:
         if node_id not in self.outstanding:
             raise KeyError(f"node {node_id!r} is not routed to")
         self.outstanding.release(node_id, cost_s)
+        if self.policy == "least_loaded" and node_id not in self._down:
+            self._reindex_load(node_id)
 
     def __repr__(self):
         nodes = len(self._node_ids)

@@ -35,9 +35,16 @@ EVENT_KINDS = (
     "job_crashed",
     "job_retried",
     "job_failed",
+    "job_shed",
     "node_up",
     "node_down",
 )
+
+# O(1) membership for the emit hot path
+_EVENT_KIND_SET = frozenset(EVENT_KINDS)
+
+#: buffered-sink flush threshold, in lines
+FLUSH_EVERY = 4096
 
 
 @dataclass(frozen=True)
@@ -94,17 +101,51 @@ class EventLog:
     sim engine passes its model clock, the fleet a run-relative
     ``time.monotonic`` delta.  Events carry a per-log sequence number,
     so logs are totally ordered even when many events share a stamp.
+
+    Million-event runs need the log out of the hot path, so the
+    recorder has three speed knobs (defaults preserve the original
+    keep-everything behaviour):
+
+    * ``enabled=False`` — :meth:`emit` returns immediately without
+      even constructing the event (open-loop runs that don't ask for
+      a log pay one attribute check per emit);
+    * ``sink=path`` — events stream to a JSONL file through an
+      in-memory buffer flushed every :data:`FLUSH_EVERY` lines (call
+      :meth:`close` to flush the tail);
+    * ``keep=False`` — with a sink, drop the in-memory ``events``
+      list so a 10⁶-event run holds only the unflushed buffer.
     """
 
-    def __init__(self, clock: Callable[[], float] | None = None):
+    def __init__(
+        self,
+        clock: Callable[[], float] | None = None,
+        *,
+        sink: str | Path | None = None,
+        keep: bool = True,
+        enabled: bool = True,
+    ):
+        if sink is None and not keep:
+            raise ValueError("keep=False requires a sink (events would vanish)")
         self.clock = clock if clock is not None else (lambda: 0.0)
         self.events: list[FleetEvent] = []
+        self.enabled = enabled
+        self.keep = keep
+        self._seq = 0
+        self._sink_path = Path(sink) if sink is not None else None
+        self._sink_file = None
+        self._sink_closed = False
+        self._buffer: list[str] = []
 
     def __len__(self) -> int:
         return len(self.events)
 
     def __iter__(self) -> Iterator[FleetEvent]:
         return iter(self.events)
+
+    @property
+    def emitted(self) -> int:
+        """Total events emitted, including streamed-and-dropped ones."""
+        return self._seq
 
     def emit(
         self,
@@ -115,12 +156,17 @@ class EventLog:
         attempt: int = 0,
         at_s: float | None = None,
         **detail,
-    ) -> FleetEvent:
-        """Record one event (stamped from the clock unless ``at_s`` given)."""
-        if kind not in EVENT_KINDS:
+    ) -> FleetEvent | None:
+        """Record one event (stamped from the clock unless ``at_s`` given).
+
+        Returns the event, or None when the log is disabled.
+        """
+        if not self.enabled:
+            return None
+        if kind not in _EVENT_KIND_SET:
             raise ValueError(f"unknown event kind {kind!r}; see EVENT_KINDS")
         event = FleetEvent(
-            seq=len(self.events),
+            seq=self._seq,
             at_s=self.clock() if at_s is None else at_s,
             kind=kind,
             job_id=job_id,
@@ -128,8 +174,36 @@ class EventLog:
             attempt=attempt,
             detail=detail,
         )
-        self.events.append(event)
+        self._seq += 1
+        if self.keep:
+            self.events.append(event)
+        if self._sink_path is not None:
+            self._buffer.append(event.to_line())
+            if len(self._buffer) >= FLUSH_EVERY:
+                self.flush()
         return event
+
+    def flush(self) -> None:
+        """Push buffered sink lines to disk (no-op without a sink)."""
+        if self._sink_path is None or not self._buffer:
+            return
+        if self._sink_file is None:
+            self._sink_file = self._sink_path.open("w", encoding="utf-8")
+        self._sink_file.write("\n".join(self._buffer) + "\n")
+        self._buffer.clear()
+
+    def close(self) -> None:
+        """Flush and close the sink file (safe to call repeatedly)."""
+        if self._sink_path is None or self._sink_closed:
+            return
+        self.flush()
+        if self._sink_file is not None:
+            self._sink_file.close()
+            self._sink_file = None
+        else:
+            # nothing was ever emitted: still materialize an empty log
+            self._sink_path.write_text("")
+        self._sink_closed = True
 
     def kinds(self) -> dict[str, int]:
         """Event count per kind (absent kinds omitted)."""

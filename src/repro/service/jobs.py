@@ -66,6 +66,8 @@ class ProofJob:
     #: nodes that crashed while holding this job; the retry router
     #: never sends the job back to one of them (ISSUE 5)
     excluded_node_ids: tuple[str, ...] = ()
+    #: owning tenant in multi-tenant open-loop runs (None = untenanted)
+    tenant: str | None = None
 
     def __post_init__(self):
         if not self.circuit_key:

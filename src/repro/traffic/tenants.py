@@ -1,0 +1,121 @@
+"""Tenants and SLO tiers for multi-tenant open-loop traffic.
+
+Production proving fleets serve many customers off one pool of
+accelerators, and the interesting contention questions — who gets shed
+first under overload, whose deadlines survive a burst — only exist once
+requests carry an owner.  This module gives the open-loop subsystem its
+ownership model:
+
+* :class:`SLOTier` — a named service level: deadline slack, request
+  class, and the *admission factor*, the fraction of the fleet's
+  admission budget the tier is allowed to fill before its requests are
+  shed (gold sheds last, bronze first — strict-priority load shedding
+  expressed as nested budget caps).
+* :class:`TenantSpec` — one customer: traffic weight (share of offered
+  jobs), SLO tier, and a quota capping the share of admitted
+  outstanding cost the tenant may occupy, so one noisy tenant cannot
+  starve the rest even inside its tier.
+* :func:`default_tenants` — a deterministic Zipf-weighted tenant
+  population cycling through the tiers, used by the CLI and benches.
+
+Everything here is plain declarative data; enforcement lives in
+:mod:`repro.cluster.admission` and accounting in
+:mod:`repro.traffic.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.service.jobs import RequestClass
+
+
+@dataclass(frozen=True)
+class SLOTier:
+    """One service level: deadline slack, class, and shed priority."""
+
+    name: str
+    #: deadline = arrival + slack (None = the tier sets no deadlines)
+    deadline_slack_s: float | None
+    #: fraction of the fleet admission budget this tier may fill; lower
+    #: factors hit their cap earlier, so they shed first under overload
+    admission_factor: float
+    request_class: RequestClass
+
+    def __post_init__(self):
+        if not 0.0 < self.admission_factor <= 1.0:
+            raise ValueError(
+                f"admission_factor must be in (0, 1]; got {self.admission_factor}"
+            )
+
+
+#: the three standard tiers: gold sheds last and gets the tightest
+#: deadlines; bronze is deferrable batch work that absorbs overload
+SLO_TIERS: dict[str, SLOTier] = {
+    "gold": SLOTier(
+        name="gold",
+        deadline_slack_s=2.0,
+        admission_factor=1.0,
+        request_class=RequestClass.REALTIME,
+    ),
+    "silver": SLOTier(
+        name="silver",
+        deadline_slack_s=4.0,
+        admission_factor=0.85,
+        request_class=RequestClass.REALTIME,
+    ),
+    "bronze": SLOTier(
+        name="bronze",
+        deadline_slack_s=8.0,
+        admission_factor=0.7,
+        request_class=RequestClass.DEFERRABLE,
+    ),
+}
+
+#: tier assignment order for generated tenant populations
+_TIER_CYCLE = ("gold", "silver", "bronze")
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: traffic share, SLO tier, and an outstanding quota."""
+
+    name: str
+    #: relative share of offered traffic (normalized across tenants)
+    weight: float
+    tier: SLOTier
+    #: max fraction of the fleet admission budget this tenant's
+    #: admitted-but-unfinished cost may occupy
+    quota_fraction: float
+
+    def __post_init__(self):
+        if self.weight <= 0:
+            raise ValueError(f"weight must be > 0; got {self.weight}")
+        if not 0.0 < self.quota_fraction <= 1.0:
+            raise ValueError(
+                f"quota_fraction must be in (0, 1]; got {self.quota_fraction}"
+            )
+
+
+def default_tenants(n: int) -> list[TenantSpec]:
+    """A deterministic ``n``-tenant population for benches and the CLI.
+
+    Weights follow a Zipf law (tenant ``k`` gets weight ``1/k`` — a few
+    heavy tenants, a long light tail), tiers cycle gold → silver →
+    bronze, and each quota is twice the tenant's fair traffic share
+    (capped at 1.0): enough slack that quotas only bind when a tenant
+    bursts well past its share.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one tenant; got {n}")
+    weights = [1.0 / (k + 1) for k in range(n)]
+    total = sum(weights)
+    return [
+        TenantSpec(
+            name=f"tenant-{k}",
+            weight=weights[k],
+            tier=SLO_TIERS[_TIER_CYCLE[k % len(_TIER_CYCLE)]],
+            quota_fraction=min(1.0, 2.0 * weights[k] / total),
+        )
+        for k in range(n)
+    ]

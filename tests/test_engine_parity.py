@@ -1,0 +1,70 @@
+"""The fast-path rework is arithmetically invisible (ISSUE 8).
+
+The sim-core fast path (threshold compaction, ``schedule_fast``), the
+router's lazy-invalidation load heap, and the nodes' heap-indexed
+pending queues are *performance* changes: every model number the
+committed ``BENCH_cluster.json`` / ``BENCH_resilience.json`` baselines
+pin must come out bit-identical.  These tests re-run a slice of each
+benchmark's cells through the public recipes
+(``benchmarks/test_cluster_scaling.py`` /
+``test_cluster_resilience.py``) and compare against the committed
+records — if a "fast path" ever changes a routing decision, a finish
+time, or a deadline verdict, this fails before the bench gate does.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+from test_cluster_resilience import run_churn_cell  # noqa: E402
+from test_cluster_scaling import run_cell, sweep_row  # noqa: E402
+
+CLUSTER_RECORD = REPO / "BENCH_cluster.json"
+RESILIENCE_RECORD = REPO / "BENCH_resilience.json"
+
+#: the sim-mode sweep slice replayed here (all policies at both sizes)
+PARITY_NODES = (1, 4)
+
+
+class TestClusterSweepParity:
+    def test_sim_sweep_rows_match_committed_record(self):
+        committed = json.loads(CLUSTER_RECORD.read_text())
+        by_key = {
+            (row["nodes"], row["policy"]): row for row in committed["sweep"]
+        }
+        for num_nodes in PARITY_NODES:
+            for policy in ("round_robin", "least_loaded", "affinity"):
+                fresh = sweep_row(
+                    run_cell(policy, num_nodes, execute=False)
+                )
+                assert fresh == by_key[(num_nodes, policy)], (
+                    f"model numbers drifted at nodes={num_nodes} "
+                    f"policy={policy}: the engine rework must be "
+                    f"arithmetically invisible"
+                )
+
+
+class TestResilienceParity:
+    def test_churn_replication_matches_committed_record(self):
+        committed = json.loads(RESILIENCE_RECORD.read_text())
+        baseline = committed["replications"][0]
+        seed = baseline["traffic_seed"]
+
+        retry = run_churn_cell("affinity", max_retries=3, seed=seed)
+        no_retry = run_churn_cell("round_robin", max_retries=0, seed=seed)
+        fresh = {
+            "traffic_seed": seed,
+            "churn_seed": seed + committed["churn"]["seed_offset"],
+            "retry_missed": retry["deadlines"]["missed"],
+            "retry_retries": retry["resilience"]["retries"],
+            "no_retry_missed": no_retry["deadlines"]["missed"],
+            "no_retry_failed": no_retry["resilience"]["failed_jobs"],
+            "crashes": no_retry["resilience"]["crashes"],
+        }
+        assert fresh == baseline, (
+            "churn-replication counters drifted: the fast-path rework "
+            "changed a failure-path decision"
+        )

@@ -103,3 +103,59 @@ class TestSchema:
         for kind in EVENT_KINDS:
             log.emit(kind)
         assert [e.seq for e in log] == list(range(len(EVENT_KINDS)))
+
+
+class TestSpeedKnobs:
+    """ISSUE 8: disabled logs, streaming sinks, and dropped retention."""
+
+    def test_disabled_log_emits_nothing(self):
+        log = EventLog(enabled=False)
+        assert log.emit("job_accepted", job_id=0) is None
+        assert len(log.events) == 0
+        assert log.emitted == 0
+
+    def test_sink_streams_jsonl_without_keeping(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=path, keep=False)
+        log.emit("job_accepted", job_id=0, tag="t")
+        log.emit("job_shed", job_id=1, tenant="tenant-2")
+        assert len(log.events) == 0  # retention dropped
+        assert log.emitted == 2
+        log.close()
+        first, second = EventLog.load(path)
+        assert first.kind == "job_accepted"
+        assert second.kind == "job_shed"
+        assert second.detail == {"tenant": "tenant-2"}
+        assert second.seq == 1
+
+    def test_sink_plus_keep_matches_memory(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=path)
+        log.emit("node_down", node_id="node-0", reason="crash")
+        log.close()
+        assert EventLog.replay_identical(log, EventLog.load(path))
+
+    def test_close_is_idempotent_and_never_truncates(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=path, keep=False)
+        log.emit("job_accepted", job_id=0)
+        log.close()
+        log.close()  # second close must not rewrite an empty file
+        (event,) = EventLog.load(path)
+        assert event.kind == "job_accepted"
+
+    def test_empty_sink_materializes_empty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=path, keep=False)
+        log.close()
+        assert path.exists() and path.read_text() == ""
+        assert EventLog.load(path) == []
+
+    def test_keep_false_without_sink_rejected(self):
+        with pytest.raises(ValueError, match="sink"):
+            EventLog(keep=False)
+
+    def test_job_shed_is_a_valid_kind(self):
+        assert "job_shed" in EVENT_KINDS
+        event = EventLog().emit("job_shed", job_id=7, tenant="tenant-1")
+        assert event.kind == "job_shed"

@@ -7,6 +7,8 @@ event sources that are pure functions of their constructor arguments.
 """
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim import PoissonSource, Simulator, TraceSource, install
 
@@ -123,3 +125,180 @@ class TestSources:
         handles[1].cancel()
         sim.run()
         assert seen == ["x"]
+
+
+class TestFastPath:
+    """The ISSUE 8 fast path: O(1) len, compaction, schedule_fast."""
+
+    def test_len_is_live_count_not_heap_size(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert len(sim) == 10
+        for handle in handles[:4]:
+            handle.cancel()
+        assert len(sim) == 6
+        handles[0].cancel()  # cancel is idempotent
+        assert len(sim) == 6
+        sim.run()
+        assert len(sim) == 0
+
+    def test_schedule_fast_orders_with_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("slow-2"))
+        sim.schedule_fast(1.0, lambda: fired.append("fast-1"))
+        sim.schedule_fast(2.0, lambda: fired.append("fast-2-late"), priority=5)
+        sim.schedule(2.0, lambda: fired.append("slow-2-tie"))
+        sim.schedule_fast(2.0, lambda: fired.append("fast-2-tie"))
+        end = sim.run()
+        # same (time, priority) resolves by schedule order across APIs
+        assert fired == [
+            "fast-1",
+            "slow-2",
+            "slow-2-tie",
+            "fast-2-tie",
+            "fast-2-late",
+        ]
+        assert end == 2.0
+        assert sim.fired == 5
+
+    def test_schedule_fast_rejects_past(self):
+        sim = Simulator(start_s=5.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_fast(4.0, lambda: None)
+
+    def test_compaction_preserves_order_and_counts(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        # far more cancelled than live entries forces compaction
+        doomed = [
+            sim.schedule(1000.0 + i, lambda: fired.append("doomed"))
+            for i in range(512)
+        ]
+        for i in range(8):
+            at = float(i + 1)
+            sim.schedule(at, lambda at=at: fired.append(at))
+            keep.append(at)
+        for handle in doomed:
+            handle.cancel()
+        assert len(sim) == 8
+        assert sim.peek_time() == 1.0
+        end = sim.run()
+        assert fired == keep
+        assert end == 8.0
+
+    def test_cancel_after_fire_is_harmless(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1.0, lambda: fired.append("once"))
+        sim.schedule(2.0, lambda: fired.append("later"))
+        sim.run(until_s=1.5)
+        handle.cancel()  # already fired; must not corrupt live counts
+        assert len(sim) == 1
+        sim.run()
+        assert fired == ["once", "later"]
+
+    def test_run_with_only_cancelled_left_drains_to_now(self):
+        # matches the pre-fast-path engine: an emptied heap returns the
+        # current clock, never advancing to the horizon
+        sim = Simulator()
+        handle = sim.schedule(5.0, lambda: None)
+        handle.cancel()
+        assert sim.run(until_s=10.0) == 0.0
+        assert sim.now == 0.0
+        assert len(sim) == 0
+
+    def test_horizon_with_pending_cancelled_and_live(self):
+        sim = Simulator()
+        fired = []
+        doomed = sim.schedule(4.0, lambda: fired.append("doomed"))
+        sim.schedule(6.0, lambda: fired.append("live"))
+        doomed.cancel()
+        # the horizon stop must purge the cancelled head, then park at
+        # the horizon with the live event still queued
+        assert sim.run(until_s=5.0) == 5.0
+        assert fired == []
+        assert len(sim) == 1
+        assert sim.run() == 6.0
+        assert fired == ["live"]
+
+
+class TestFastPathProperties:
+    """Randomized order invariance under cancellation + compaction."""
+
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=0.0,
+                    max_value=100.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.integers(min_value=-3, max_value=3),
+                st.sampled_from(["schedule", "fast", "cancelled"]),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_total_order_survives_cancellation(self, ops):
+        """Surviving events fire in exact (time, priority, seq) order
+        no matter how many neighbours were cancelled around them —
+        i.e. threshold compaction never reorders or drops live events."""
+        sim = Simulator()
+        fired = []
+        expected = []
+        doomed = []
+        for seq, (at, priority, kind) in enumerate(ops):
+            if kind == "fast":
+                sim.schedule_fast(
+                    at,
+                    lambda key=(at, priority, seq): fired.append(key),
+                    priority=priority,
+                )
+                expected.append((at, priority, seq))
+            else:
+                handle = sim.schedule(
+                    at,
+                    lambda key=(at, priority, seq): fired.append(key),
+                    priority=priority,
+                )
+                if kind == "cancelled":
+                    doomed.append(handle)
+                else:
+                    expected.append((at, priority, seq))
+        for handle in doomed:
+            handle.cancel()
+        assert len(sim) == len(expected)
+        sim.run()
+        assert fired == sorted(expected)
+        assert len(sim) == 0
+        assert sim.fired == len(expected)
+
+
+@pytest.mark.slow
+class TestMillionEventSmoke:
+    def test_million_event_churn_run_is_exact(self):
+        """The churn-heavy bench driver at 10⁶ events: the fired count
+        and final clock are pure model values and must be bit-exact
+        (the same figures BENCH_traffic.json pins)."""
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parents[1] / "tools")
+        )
+        from profile_sim import churn_heavy
+
+        sim = Simulator()
+        fired, final_clock, len_probe = churn_heavy(
+            sim, 1_000_000, fast=True
+        )
+        assert fired == 1_000_007
+        assert round(final_clock, 6) == 163.7826
+        assert len_probe == 58_590
+        assert sim.fired == fired
+        assert len(sim) == 0

@@ -1,0 +1,465 @@
+"""Open-loop traffic, tenancy, and admission control (``repro.traffic``).
+
+ISSUE 8 contracts: the seeded arrival stream is a pure function of its
+constructor arguments; the open-loop engine conserves every offered
+job (offered = shed + completed + failed); the admission controller
+sheds bronze before gold, caps tenants at their quotas, and drives
+backpressure when the budget collapses under it; and the ``repro-
+cluster --open-loop`` flags validate with argparse's exit status 2.
+"""
+
+import math
+from types import SimpleNamespace
+
+import pytest
+
+from repro.cluster import ClusterConfig, NodeConfig, ProvingCluster
+from repro.cluster.admission import AdmissionController, AdmissionPolicy
+from repro.cluster.__main__ import build_parser, main as cluster_main
+from repro.service.jobs import RequestClass
+from repro.service.metrics import percentile, percentiles
+from repro.traffic import (
+    SLO_TIERS,
+    OpenLoopEngine,
+    OpenLoopTraffic,
+    SLOTier,
+    TenantSpec,
+    default_tenants,
+    jain_fairness,
+    make_admission,
+    traffic_summary,
+)
+from repro.workloads import ChurnEvent
+
+SCENARIO = "zipf-mixed"
+#: ~6x the 4-node fleet's install-bound capacity (overload regime)
+OVERLOAD_RPS = 40.0
+
+
+def run_open_loop(
+    *,
+    with_admission: bool,
+    jobs: int = 1_000,
+    rate_rps: float = OVERLOAD_RPS,
+    nodes: int = 4,
+    window_s: float = 10.0,
+    churn: tuple = (),
+):
+    """One small seeded open-loop run; returns the engine."""
+    traffic = OpenLoopTraffic(
+        SCENARIO, seed=0, max_jobs=jobs, rate_rps=rate_rps
+    )
+    cluster = ProvingCluster(
+        ClusterConfig(
+            num_nodes=nodes,
+            policy="least_loaded",
+            node=NodeConfig(max_vars=traffic.max_vars()),
+        )
+    )
+    admission = None
+    if with_admission:
+        admission = make_admission(
+            cluster, AdmissionPolicy(window_s=window_s), traffic.tenants
+        )
+    engine = OpenLoopEngine(cluster, traffic, admission=admission)
+    engine.run_open_loop(churn=churn)
+    return engine
+
+
+def stub_job(job_id: int, tenant: str):
+    """The minimal surface AdmissionController reads from a job."""
+    return SimpleNamespace(job_id=job_id, tenant=tenant)
+
+
+def make_controller(
+    *,
+    cost: float = 1.0,
+    up_nodes: int = 4,
+    window_s: float = 10.0,
+    tenants=None,
+):
+    """A controller with constant job cost and a mutable node count."""
+    nodes = [up_nodes]
+    controller = AdmissionController(
+        AdmissionPolicy(window_s=window_s),
+        tenants if tenants is not None else default_tenants(3),
+        cost_of=lambda job: cost,
+        up_nodes=lambda: nodes[0],
+    )
+    return controller, nodes
+
+
+class TestOpenLoopTraffic:
+    def test_stream_is_deterministic_and_restartable(self):
+        traffic = OpenLoopTraffic(SCENARIO, seed=3, max_jobs=50)
+        first = [
+            (j.arrival_s, j.tenant, j.circuit_key, j.deadline_s)
+            for j in traffic.jobs()
+        ]
+        second = [
+            (j.arrival_s, j.tenant, j.circuit_key, j.deadline_s)
+            for j in traffic.jobs()
+        ]
+        other = [
+            (j.arrival_s, j.tenant, j.circuit_key, j.deadline_s)
+            for j in OpenLoopTraffic(SCENARIO, seed=4, max_jobs=50).jobs()
+        ]
+        assert len(first) == 50
+        assert first == second, "every jobs() call must restart the seed"
+        assert first != other
+        arrivals = [a for a, *_ in first]
+        assert arrivals == sorted(arrivals)
+
+    def test_rate_envelope_and_burst_windows(self):
+        traffic = OpenLoopTraffic(
+            SCENARIO,
+            rate_rps=10.0,
+            diurnal_amplitude=0.5,
+            burst_mult=3.0,
+            burst_fraction=0.1,
+            burst_duration_s=5.0,
+            max_jobs=1,
+        )
+        assert traffic.in_burst(0.0) and traffic.in_burst(4.9)
+        assert not traffic.in_burst(5.0) and not traffic.in_burst(49.9)
+        assert traffic.in_burst(50.0)
+        assert traffic.peak_rate_rps == pytest.approx(10.0 * 1.5 * 3.0)
+        for t in (0.0, 1.7, 23.0, 60.0, 119.5):
+            assert 0.0 < traffic.rate_at(t) <= traffic.peak_rate_rps
+
+    def test_horizon_bounds_the_stream(self):
+        traffic = OpenLoopTraffic(SCENARIO, seed=0, horizon_s=5.0)
+        jobs = list(traffic.jobs())
+        assert jobs
+        assert all(j.arrival_s <= 5.0 for j in jobs)
+
+    def test_arrival_trace_replayed_verbatim(self):
+        trace = [0.5, 0.1, 2.0]
+        traffic = OpenLoopTraffic(SCENARIO, arrival_trace=trace)
+        assert [j.arrival_s for j in traffic.jobs()] == sorted(trace)
+
+    def test_shape_cache_shares_circuits(self):
+        traffic = OpenLoopTraffic(SCENARIO, seed=0, max_jobs=200)
+        jobs = list(traffic.jobs())
+        by_key = {}
+        for job in jobs:
+            by_key.setdefault(job.circuit_key, job.circuit)
+            assert job.circuit is by_key[job.circuit_key]
+        assert len(traffic.shapes) == len(by_key)
+        assert len(by_key) < len(jobs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="diurnal_amplitude"):
+            OpenLoopTraffic(SCENARIO, diurnal_amplitude=1.0, max_jobs=1)
+        with pytest.raises(ValueError, match="burst_mult"):
+            OpenLoopTraffic(SCENARIO, burst_mult=0.5, max_jobs=1)
+        with pytest.raises(ValueError, match="burst_fraction"):
+            OpenLoopTraffic(SCENARIO, burst_fraction=0.0, max_jobs=1)
+        with pytest.raises(ValueError, match="max_jobs"):
+            OpenLoopTraffic(SCENARIO)
+        with pytest.raises(ValueError, match="rate_rps"):
+            OpenLoopTraffic(SCENARIO, rate_rps=0.0, max_jobs=1)
+
+
+class TestTenants:
+    def test_default_tenants_zipf_weights_and_tiers(self):
+        tenants = default_tenants(4)
+        assert [t.name for t in tenants] == [
+            "tenant-0",
+            "tenant-1",
+            "tenant-2",
+            "tenant-3",
+        ]
+        weights = [t.weight for t in tenants]
+        assert weights == sorted(weights, reverse=True)
+        assert [t.tier.name for t in tenants] == [
+            "gold",
+            "silver",
+            "bronze",
+            "gold",
+        ]
+        assert all(0.0 < t.quota_fraction <= 1.0 for t in tenants)
+
+    def test_tier_ordering_and_classes(self):
+        gold, silver, bronze = (
+            SLO_TIERS["gold"],
+            SLO_TIERS["silver"],
+            SLO_TIERS["bronze"],
+        )
+        assert gold.deadline_slack_s < silver.deadline_slack_s
+        assert silver.deadline_slack_s < bronze.deadline_slack_s
+        # lower tiers cap out earlier, so they shed first
+        assert gold.admission_factor > silver.admission_factor
+        assert silver.admission_factor > bronze.admission_factor
+        assert bronze.request_class is RequestClass.DEFERRABLE
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="admission_factor"):
+            SLOTier("bad", 1.0, 1.5, RequestClass.REALTIME)
+        with pytest.raises(ValueError, match="weight"):
+            TenantSpec("t", 0.0, SLO_TIERS["gold"], 0.5)
+        with pytest.raises(ValueError, match="quota_fraction"):
+            TenantSpec("t", 1.0, SLO_TIERS["gold"], 0.0)
+
+
+class TestAdmissionController:
+    def test_budget_tracks_up_nodes(self):
+        controller, nodes = make_controller(window_s=10.0, up_nodes=4)
+        assert controller.budget_s() == 40.0
+        nodes[0] = 1
+        assert controller.budget_s() == 10.0
+        nodes[0] = 0  # a fully-down fleet still budgets one node
+        assert controller.budget_s() == 10.0
+
+    def test_tier_cap_sheds_lower_tiers_first(self):
+        # equal quotas so only the tier factor differentiates
+        tiers = ["gold", "silver", "bronze"]
+        tenants = [
+            TenantSpec(f"tenant-{i}", 1.0, SLO_TIERS[t], 1.0)
+            for i, t in enumerate(tiers)
+        ]
+        controller, _ = make_controller(
+            cost=1.0, up_nodes=1, window_s=10.0, tenants=tenants
+        )
+        # fill fleet-wide outstanding to 8s: bronze caps at 7.0,
+        # silver at 8.5, gold at 10.0
+        for job_id in range(8):
+            assert controller.admit(stub_job(job_id, "tenant-0"))
+        assert not controller.admit(stub_job(101, "tenant-2"))  # 9 > 7.0
+        assert not controller.admit(stub_job(102, "tenant-1"))  # 9 > 8.5
+        assert controller.admit(stub_job(103, "tenant-0"))  # 9 <= 10
+        assert controller.shed_by_tenant == {
+            "tenant-0": 0,
+            "tenant-1": 1,
+            "tenant-2": 1,
+        }
+
+    def test_quota_caps_one_tenant_inside_its_tier(self):
+        tenants = [
+            TenantSpec("big", 1.0, SLO_TIERS["gold"], 1.0),
+            TenantSpec("small", 1.0, SLO_TIERS["gold"], 0.2),
+        ]
+        controller, _ = make_controller(
+            cost=1.0, up_nodes=1, window_s=10.0, tenants=tenants
+        )
+        assert controller.admit(stub_job(0, "small"))
+        assert controller.admit(stub_job(1, "small"))
+        # small's quota is 2.0s; the fleet budget still has 8s of room
+        assert not controller.admit(stub_job(2, "small"))
+        assert controller.admit(stub_job(3, "big"))
+        assert controller.tenant_outstanding_s("small") == 2.0
+
+    def test_settle_releases_and_is_idempotent(self):
+        controller, _ = make_controller(cost=2.0, up_nodes=4)
+        job = stub_job(0, "tenant-0")
+        assert controller.admit(job)
+        assert controller.outstanding_s == 2.0
+        controller.settle(job)
+        assert controller.outstanding_s == 0.0
+        controller.settle(job)  # idempotent
+        controller.settle(stub_job(99, "tenant-0"))  # never admitted
+        assert controller.outstanding_s == 0.0
+
+    def test_unknown_tenant_rejected(self):
+        controller, _ = make_controller()
+        with pytest.raises(KeyError, match="unknown tenant"):
+            controller.admit(stub_job(0, "nobody"))
+        with pytest.raises(KeyError, match="unknown tenant"):
+            controller.admit(stub_job(0, None))
+
+    def test_backpressure_when_budget_collapses(self):
+        controller, nodes = make_controller(
+            cost=1.0, up_nodes=4, window_s=10.0
+        )
+        jobs = [stub_job(i, "tenant-0") for i in range(20)]
+        for job in jobs:
+            assert controller.admit(job)
+        assert not controller.overloaded()  # 20s of a 40s budget
+        nodes[0] = 1  # the fleet crashes down to one node
+        assert controller.overloaded()  # 20s > 1.5 x 10s
+        assert not controller.relieved()
+        for job in jobs[:13]:
+            controller.settle(job)
+        assert controller.relieved()  # 7s < 0.75 x 10s
+
+    def test_as_dict_reports_policy_and_counters(self):
+        controller, _ = make_controller(cost=100.0, up_nodes=1)
+        controller.admit(stub_job(0, "tenant-0"))
+        doc = controller.as_dict()
+        assert doc["policy"]["window_s"] == 10.0
+        assert doc["offered"] == 1
+        assert doc["shed"] == 1
+        assert doc["shed_rate"] == 1.0
+
+
+class TestOpenLoopEngine:
+    def test_runs_are_deterministic(self):
+        first = traffic_summary(run_open_loop(with_admission=True))
+        second = traffic_summary(run_open_loop(with_admission=True))
+        assert first == second
+
+    def test_conservation_offered_equals_shed_plus_resolved(self):
+        for with_admission in (False, True):
+            engine = run_open_loop(with_admission=with_admission)
+            summary = traffic_summary(engine)
+            assert summary["offered"] == 1_000
+            assert (
+                summary["offered"]
+                == summary["shed"]
+                + summary["completed"]
+                + summary["failed"]
+            )
+            assert engine.admitted == summary["completed"] + summary["failed"]
+
+    def test_admission_beats_no_admission_on_goodput(self):
+        protected = traffic_summary(run_open_loop(with_admission=True))
+        unprotected = traffic_summary(run_open_loop(with_admission=False))
+        assert protected["shed"] > 0
+        assert unprotected["shed"] == 0
+        assert (
+            protected["model"]["goodput_jobs_per_s"]
+            > unprotected["model"]["goodput_jobs_per_s"]
+        )
+        assert (
+            protected["model"]["latency_s"]["p99"]
+            < unprotected["model"]["latency_s"]["p99"]
+        )
+        assert protected["jain_fairness"] > unprotected["jain_fairness"]
+
+    def test_shed_events_logged_per_tenant(self):
+        engine = run_open_loop(with_admission=True)
+        shed_events = [e for e in engine.events if e.kind == "job_shed"]
+        assert len(shed_events) == traffic_summary(engine)["shed"]
+        by_tenant = {}
+        for event in shed_events:
+            by_tenant[event.detail["tenant"]] = (
+                by_tenant.get(event.detail["tenant"], 0) + 1
+            )
+        assert by_tenant == engine.admission.shed_by_tenant
+
+    def test_churn_triggers_backpressure_and_lag(self):
+        # crash half the fleet mid-stream: the budget halves, the pump
+        # pauses, and resumed arrivals carry the accumulated lag
+        churn = (
+            ChurnEvent(2.0, 0, "crash"),
+            ChurnEvent(20.0, 0, "recover"),
+        )
+        engine = run_open_loop(
+            with_admission=True,
+            jobs=800,
+            nodes=2,
+            window_s=4.0,
+            churn=churn,
+        )
+        summary = traffic_summary(engine)
+        assert engine.pauses >= 1
+        assert engine.lag_s > 0.0
+        assert (
+            summary["offered"]
+            == summary["shed"] + summary["completed"] + summary["failed"]
+        )
+
+    def test_untenanted_jobs_need_no_admission(self):
+        # a bare trace with no admission controller: tenancy is still
+        # stamped by the stream, but nothing reads it
+        engine = run_open_loop(with_admission=False, jobs=50)
+        assert engine.offered == 50
+        assert set(engine.tenant_of.values()) <= {
+            t.name for t in engine.traffic.tenants
+        }
+
+
+class TestTrafficMetrics:
+    def test_jain_fairness_bounds(self):
+        assert jain_fairness([]) == 1.0
+        assert jain_fairness([0.0, 0.0]) == 1.0
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+        assert jain_fairness([1.0, 0.0, 0.0]) == pytest.approx(1 / 3)
+        assert 0.0 < jain_fairness([3.0, 1.0]) < 1.0
+
+    def test_percentiles_sort_once_matches_percentile(self):
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        qs = (50, 95, 99, 99.9)
+        assert percentiles(values, qs) == [
+            percentile(values, q) for q in qs
+        ]
+        assert percentiles([], qs) == [0.0] * len(qs)
+        assert percentiles([2.5], qs) == [2.5] * len(qs)
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_summary_tenant_rows_join_records(self):
+        engine = run_open_loop(with_admission=True)
+        summary = traffic_summary(engine)
+        rows = {row["tenant"]: row for row in summary["tenants"]}
+        assert sum(r["offered"] for r in rows.values()) == summary["offered"]
+        assert sum(r["shed"] for r in rows.values()) == summary["shed"]
+        assert (
+            sum(r["completed"] for r in rows.values()) == summary["completed"]
+        )
+        for row in rows.values():
+            assert row["slo_met"] <= row["completed"]
+        assert 0.0 < summary["jain_fairness"] <= 1.0
+
+
+class TestOpenLoopCli:
+    def test_open_loop_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "--open-loop",
+                "--rate-rps",
+                "12.5",
+                "--tenants",
+                "5",
+                "--admission",
+                "--admission-window",
+                "2.0",
+                "--diurnal-amplitude",
+                "0.25",
+                "--burst-mult",
+                "2.0",
+            ]
+        )
+        assert args.open_loop and args.admission
+        assert args.rate_rps == 12.5
+        assert args.tenants == 5
+        assert math.isclose(args.diurnal_amplitude, 0.25)
+
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["--admission"],  # requires --open-loop
+            ["--open-loop", "--execute"],
+            ["--open-loop", "--autoscale"],
+            ["--open-loop", "--churn-rate", "0.2"],  # needs --horizon-s
+            ["--open-loop", "--tenants", "0"],
+            ["--open-loop", "--rate-rps", "0"],
+            ["--open-loop", "--horizon-s", "-1"],
+            ["--open-loop", "--diurnal-amplitude", "1.0"],
+            ["--open-loop", "--burst-mult", "0.9"],
+            ["--open-loop", "--admission-window", "nan"],
+        ],
+    )
+    def test_bad_values_exit_2(self, argv, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cluster_main(argv)
+        assert excinfo.value.code == 2
+        capsys.readouterr()
+
+    def test_small_open_loop_run_end_to_end(self, capsys):
+        code = cluster_main(
+            [
+                "--open-loop",
+                "--jobs",
+                "60",
+                "--nodes",
+                "2",
+                "--policies",
+                "least_loaded",
+                "--admission",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "open loop" in out
+        assert "goodput" in out

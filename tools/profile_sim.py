@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""cProfile harness for the discrete-event sim core's hot loop.
+
+Drives :func:`churn_heavy` — the canonical cancellation-heavy workload
+shared with ``benchmarks/test_traffic_openloop.py`` — under cProfile
+and prints the top functions, so a change to
+:mod:`repro.sim.engine` can be profiled in one command::
+
+    PYTHONPATH=src python tools/profile_sim.py --events 1000000
+    PYTHONPATH=src python tools/profile_sim.py --legacy --events 200000
+
+``--legacy`` profiles the vendored pre-fast-path engine
+(``benchmarks/legacy_sim.py``) for before/after comparison, and
+``--no-profile`` times the run without profiler overhead (what the
+benchmark measures).
+
+The workload models what a 10⁶-event open-loop cluster run does to the
+engine: a handful of periodic "server" chains that each reschedule
+themselves (the arrival pump / finish events), a cancel-and-rearm
+watchdog per chain (retry timers — almost every watchdog dies
+unfired), a standing pool of far-future cancelled events (parked
+long-horizon churn), and periodic ``len(sim)`` polls (the autoscaler
+tick asking whether work remains).
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+#: periodic server chains (self-rescheduling event sources)
+SERVERS = 8
+
+#: far-future events scheduled then immediately cancelled at startup
+CANCELLED_POOL = 5_000
+
+#: fire one ``len(sim)`` poll every this many events
+LEN_POLL_EVERY = 256
+
+#: watchdog horizon: rearmed this far ahead on every server event
+WATCHDOG_S = 10.0
+
+
+def churn_heavy(sim, num_events: int, *, fast: bool = False) -> tuple:
+    """Run the cancellation-heavy workload; returns ``(fired, now, probe)``.
+
+    ``sim`` is anything with the ``Simulator`` scheduling surface
+    (``schedule`` / ``cancel`` / ``run`` / ``__len__``); ``fast=True``
+    additionally routes the never-cancelled server chains through
+    ``schedule_fast``.  The returned tuple is pure model time and
+    therefore bit-deterministic: ``fired`` counts server events,
+    ``now`` is the final clock, ``probe`` sums the ``len(sim)`` polls.
+    """
+    fired = [0]
+    len_probe = [0]
+    stash = [sim.schedule(1.0e9 + i, lambda: None) for i in range(CANCELLED_POOL)]
+    for handle in stash:
+        handle.cancel()
+
+    def make_server(idx: int):
+        period = 0.001 + idx * 0.0001
+        watchdog = [None]
+
+        def work():
+            fired[0] += 1
+            if watchdog[0] is not None:
+                watchdog[0].cancel()
+            if fired[0] >= num_events:
+                return
+            watchdog[0] = sim.schedule(sim.now + WATCHDOG_S, lambda: None)
+            if fired[0] % LEN_POLL_EVERY == 0:
+                len_probe[0] += len(sim)
+            if fast:
+                sim.schedule_fast(sim.now + period, work)
+            else:
+                sim.schedule(sim.now + period, work)
+
+        return work
+
+    for idx in range(SERVERS):
+        start = 0.001 * (idx + 1)
+        if fast:
+            sim.schedule_fast(start, make_server(idx))
+        else:
+            sim.schedule(start, make_server(idx))
+    sim.run()
+    return fired[0], sim.now, len_probe[0]
+
+
+def make_sim(legacy: bool):
+    """The current engine, or the vendored pre-fast-path baseline."""
+    if legacy:
+        sys.path.insert(0, str(REPO / "benchmarks"))
+        from legacy_sim import LegacySimulator
+
+        return LegacySimulator(), False
+    from repro.sim.engine import Simulator
+
+    return Simulator(), True
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--events", type=int, default=1_000_000, help="server events to fire"
+    )
+    parser.add_argument(
+        "--legacy",
+        action="store_true",
+        help="profile benchmarks/legacy_sim.py instead of repro.sim",
+    )
+    parser.add_argument(
+        "--no-profile",
+        action="store_true",
+        help="time the run without cProfile overhead",
+    )
+    parser.add_argument(
+        "--sort", default="cumtime", help="pstats sort key (default cumtime)"
+    )
+    parser.add_argument(
+        "--top", type=int, default=20, help="rows of stats to print"
+    )
+    args = parser.parse_args(argv)
+    if args.events < 1:
+        parser.error(f"--events must be >= 1; got {args.events}")
+
+    sim, fast = make_sim(args.legacy)
+    label = "legacy" if args.legacy else "fast-path"
+    if args.no_profile:
+        started = time.perf_counter()
+        fired, now, probe = churn_heavy(sim, args.events, fast=fast)
+        elapsed = time.perf_counter() - started
+    else:
+        profiler = cProfile.Profile()
+        started = time.perf_counter()
+        fired, now, probe = profiler.runcall(
+            churn_heavy, sim, args.events, fast=fast
+        )
+        elapsed = time.perf_counter() - started
+        stats = pstats.Stats(profiler)
+        stats.sort_stats(args.sort).print_stats(args.top)
+    print(
+        f"{label}: fired={fired} final_clock_s={now:.6f} len_probe={probe} "
+        f"wall={elapsed:.3f}s ({fired / elapsed:,.0f} events/s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
