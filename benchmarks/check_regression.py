@@ -213,6 +213,54 @@ SPECS: dict[str, Spec] = {
             "open_loop.no_admission.jain_fairness",
         ],
     ),
+    "BENCH_carbon.json": Spec(
+        # every value is deterministic model time (no wall clock): the
+        # run configuration, trace parameters, and job/miss counts are
+        # exact; the gram figures and the headline carbon ratio follow
+        # the standing rates-are-ratios tolerance policy
+        exact=[
+            "benchmark",
+            "unit",
+            "scenario",
+            "traffic_seed",
+            "rate_rps",
+            "horizon_s",
+            "nodes",
+            "time_model",
+            "batch_slack_s",
+            "trace.base_g_per_kwh",
+            "trace.amplitude",
+            "trace.period_s",
+            "trace.noise",
+            "trace.seed",
+            "carbon_ratio_floor",
+            "cells.blind.policy",
+            "cells.blind.completed",
+            "cells.blind.failed",
+            "cells.blind.gold_jobs",
+            "cells.blind.gold_missed",
+            "cells.blind.batch_missed",
+            "cells.blind.held_starts",
+            "cells.aware.policy",
+            "cells.aware.low_threshold_g_per_kwh",
+            "cells.aware.completed",
+            "cells.aware.failed",
+            "cells.aware.gold_jobs",
+            "cells.aware.gold_missed",
+            "cells.aware.batch_missed",
+            "cells.edd.policy",
+            "cells.edd.completed",
+            "cells.edd.failed",
+        ],
+        ratio=[
+            "carbon_ratio",
+            "cells.blind.carbon_per_proof_g",
+            "cells.blind.energy_j",
+            "cells.aware.carbon_per_proof_g",
+            "cells.aware.held_starts",
+            "cells.edd.carbon_per_proof_g",
+        ],
+    ),
     "BENCH_fleet.json": Spec(
         # wall-clock numbers, rankings, and significant-pair lists are
         # machine-dependent (core count changes which regime the

@@ -1,0 +1,48 @@
+"""Carbon- and power-aware scheduling for the proving fleet.
+
+ROADMAP item 3: the paper's Table V power model
+(:mod:`repro.hw.power`) stops at per-module watts, and nothing upstream
+ever consumed them — the cluster sim, autoscaler, and admission
+controller all optimize pure latency/goodput.  This package closes the
+loop:
+
+* :class:`~repro.carbon.trace.CarbonIntensityTrace` — a seeded
+  grid-carbon-intensity signal (diurnal sinusoid × per-window noise ×
+  optional step "grid events") with the same restartable-iterator
+  contract as :class:`~repro.traffic.openloop.OpenLoopTraffic`;
+* :class:`~repro.carbon.power.NodePowerModel` /
+  :func:`~repro.carbon.power.node_watts` — per-node watts on top of the
+  per-module Table V rollup, so every simulated busy-second prices
+  joules and gCO₂;
+* :class:`~repro.carbon.runtime.CarbonConfig` /
+  :class:`~repro.carbon.runtime.CarbonRuntime` — the scheduling hooks
+  the cluster engine consults: ``carbon_waiting`` (delay deferrable
+  starts into low-intensity windows bounded by deadline slack), ``edd``
+  (earliest-deadline-first node queues), and a fleet-level power cap
+  that parks deferrable work at :class:`ProofPlan` phase boundaries to
+  make room for realtime jobs.
+
+The pennsail-style policy split (deferrable carbon-aware scheduling,
+realtime power capping) is DESIGN.md §12.
+"""
+
+from repro.carbon.power import NodePowerModel, node_watts
+from repro.carbon.runtime import CARBON_POLICIES, CarbonConfig, CarbonRuntime
+from repro.carbon.trace import (
+    DEFAULT_CARBON_PERIOD_S,
+    DEFAULT_CARBON_STEP_S,
+    JOULES_PER_KWH,
+    CarbonIntensityTrace,
+)
+
+__all__ = [
+    "CARBON_POLICIES",
+    "CarbonConfig",
+    "CarbonIntensityTrace",
+    "CarbonRuntime",
+    "DEFAULT_CARBON_PERIOD_S",
+    "DEFAULT_CARBON_STEP_S",
+    "JOULES_PER_KWH",
+    "NodePowerModel",
+    "node_watts",
+]

@@ -1,0 +1,384 @@
+"""Carbon-aware scheduling state: config, policies, joule accounting.
+
+:class:`CarbonConfig` is the declarative knob block a
+:class:`~repro.cluster.core.ClusterConfig` carries;
+:class:`CarbonRuntime` is the per-run state machine the cluster engine
+consults.  The split of responsibilities follows the pennsail framing
+(SNIPPETS.md): *deferrable* work is steered in time — ``carbon_waiting``
+delays its starts into low-intensity windows bounded by deadline slack,
+and a fleet power cap parks it at :class:`ProofPlan` phase boundaries —
+while *realtime* work is never delayed for carbon, only (transiently)
+for the cap, and preempts deferrable work to get under it.
+
+The runtime never advances time and never touches the event heap; the
+engine asks three kinds of question —
+
+* **ordering** (:meth:`select_job`): which queued job should this idle
+  node start, and should the start be held until a cleaner window;
+* **capping** (:meth:`cap_allows`, :meth:`next_boundary`): may another
+  node go busy under the fleet power cap, and where is the next
+  checkpointable phase boundary of a running deferrable job;
+* **pricing** (:meth:`account_segment`, :meth:`as_dict`): how many
+  joules and grams did each busy segment burn against the trace.
+
+With ``policy="none"`` and no cap the runtime is :attr:`passive`:
+the engine skips every scheduling hook and only the pricing runs, which
+is what makes the capless-parity test (bit-identical records and event
+log vs. a carbon-free run) hold by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.carbon.power import NodePowerModel, node_watts
+from repro.carbon.trace import JOULES_PER_KWH, CarbonIntensityTrace
+from repro.plan.cost import plan_modmuls
+from repro.plan.proof_plan import hyperplonk_plan
+from repro.service.jobs import ProofJob, RequestClass
+
+#: carbon scheduling policies accepted by :class:`CarbonConfig`
+CARBON_POLICIES = ("none", "carbon_waiting", "edd")
+
+#: slack under floating-point comparisons of watts and seconds
+_EPS = 1e-9
+
+
+@dataclass
+class CarbonConfig:
+    """Declarative carbon/power knobs for one cluster run."""
+
+    #: the grid-intensity signal all pricing and policies read
+    trace: CarbonIntensityTrace
+    #: one of :data:`CARBON_POLICIES`
+    policy: str = "none"
+    #: node power model; None derives one from the fleet time model
+    power: NodePowerModel | None = None
+    #: fleet-wide draw cap in watts (None = uncapped)
+    power_cap_w: float | None = None
+    #: "low intensity" threshold for ``carbon_waiting`` (g/kWh);
+    #: None defaults to the trace's base intensity
+    low_threshold_g_per_kwh: float | None = None
+    #: longest a deadline-less deferrable job may be held (model s);
+    #: None defaults to one trace period
+    max_wait_s: float | None = None
+
+    def __post_init__(self):
+        if self.policy not in CARBON_POLICIES:
+            raise ValueError(
+                f"unknown carbon policy {self.policy!r}; "
+                f"choose from {CARBON_POLICIES}"
+            )
+        if self.power_cap_w is not None and self.power_cap_w <= 0:
+            raise ValueError(f"power_cap_w must be > 0; got {self.power_cap_w}")
+        if (
+            self.low_threshold_g_per_kwh is not None
+            and self.low_threshold_g_per_kwh <= 0
+        ):
+            raise ValueError(
+                "low_threshold_g_per_kwh must be > 0; "
+                f"got {self.low_threshold_g_per_kwh}"
+            )
+        if self.max_wait_s is not None and self.max_wait_s <= 0:
+            raise ValueError(f"max_wait_s must be > 0; got {self.max_wait_s}")
+
+
+class CarbonRuntime:
+    """Per-run carbon state; see the module docstring for the contract."""
+
+    def __init__(self, config: CarbonConfig, time_model):
+        self.config = config
+        self.trace = config.trace
+        self.policy = config.policy
+        self._time_model = time_model
+        self.power = config.power or node_watts(time_model)
+        self.power_cap_w = config.power_cap_w
+        self.threshold_g_per_kwh = (
+            config.low_threshold_g_per_kwh
+            if config.low_threshold_g_per_kwh is not None
+            else self.trace.base_g_per_kwh
+        )
+        self.max_wait_s = (
+            config.max_wait_s
+            if config.max_wait_s is not None
+            else self.trace.period_s
+        )
+        if (
+            self.power_cap_w is not None
+            and self.power_cap_w < self.power.busy_w - _EPS
+        ):
+            raise ValueError(
+                f"power_cap_w={self.power_cap_w} is below one busy node "
+                f"({self.power.busy_w:.1f} W); the fleet could never prove"
+            )
+        #: node ids currently drawing busy (prove/install) power
+        self._active: set[str] = set()
+        #: per-shape cumulative prove-progress fractions at phase edges
+        self._fractions: dict[tuple[str, int], tuple[float, ...]] = {}
+        # gross accounting (lost segments included) + the lost slice
+        self.energy_j = 0.0
+        self.carbon_g = 0.0
+        self.energy_lost_j = 0.0
+        self.carbon_lost_g = 0.0
+        # policy counters, bumped by the engine at the emitting site
+        self.suspends = 0
+        self.resumes = 0
+        self.held_starts = 0
+        self.cap_deferrals = 0
+        self.cap_breaches = 0
+
+    @property
+    def passive(self) -> bool:
+        """True when only pricing runs — no policy, no cap.
+
+        The engine skips every scheduling hook for a passive runtime,
+        which is what the capless-parity test relies on.
+        """
+        return self.policy == "none" and self.power_cap_w is None
+
+    # -- busy-set tracking (the cap's view of the fleet) ----------------------
+    def on_busy(self, node_id: str) -> None:
+        """Record that ``node_id`` started drawing busy power."""
+        self._active.add(node_id)
+
+    def on_idle(self, node_id: str) -> None:
+        """Record that ``node_id`` stopped drawing busy power."""
+        self._active.discard(node_id)
+
+    def draw_w(self, up_nodes: int) -> float:
+        """Current fleet draw: busy rails plus idle draw of the rest."""
+        busy = len(self._active)
+        return self.power.busy_w * busy + self.power.idle_w * max(
+            0, up_nodes - busy
+        )
+
+    def cap_allows(self, up_nodes: int) -> bool:
+        """Whether one more node may go busy under the cap."""
+        if self.power_cap_w is None:
+            return True
+        busy = len(self._active) + 1
+        draw = self.power.busy_w * busy + self.power.idle_w * max(
+            0, up_nodes - busy
+        )
+        return draw <= self.power_cap_w + _EPS
+
+    @property
+    def active_nodes(self) -> int:
+        """How many nodes currently draw busy power."""
+        return len(self._active)
+
+    # -- ordering policies ----------------------------------------------------
+    def _ready_s(
+        self, node, job: ProofJob, now_s: float, respect_arrivals: bool
+    ) -> float:
+        """Mirror of the engine's earliest-start rule for ``job``."""
+        arrival = job.arrival_s if respect_arrivals else 0.0
+        base = now_s if respect_arrivals else 0.0
+        return max(node.clock_s, arrival, base)
+
+    def hold_until(self, job: ProofJob, t0: float) -> float | None:
+        """Carbon-waiting hold for ``job`` ready at ``t0`` (None = start).
+
+        Only deferrable jobs are ever held; the hold targets the next
+        window at or below the low-intensity threshold, bounded by the
+        job's deadline slack (cold-start cost reserved) or, with no
+        deadline, by ``max_wait_s``.  Returns a strictly-later time or
+        None — the engine never re-holds at the same instant, which is
+        the loop-freedom argument for the waiting policy.
+        """
+        if job.request_class is not RequestClass.DEFERRABLE:
+            return None
+        if self.trace.intensity_at(t0) <= self.threshold_g_per_kwh:
+            return None
+        if job.deadline_s is not None:
+            cold_s = self._cold_cost_s(job)
+            latest = job.deadline_s - cold_s
+            if latest <= t0:
+                return None
+        else:
+            latest = t0 + self.max_wait_s
+        start = self.trace.next_low_start(
+            t0, self.threshold_g_per_kwh, latest
+        )
+        if start is None or start <= t0 + _EPS:
+            return None
+        return start
+
+    def _cold_cost_s(self, job: ProofJob) -> float:
+        """Worst-case (cache-miss) busy seconds for ``job``."""
+        return self._time_model.install_s(job) + self._time_model.prove_s(job)
+
+    def select_job(
+        self, node, *, now_s: float, respect_arrivals: bool
+    ) -> tuple[ProofJob | None, float | None]:
+        """``(job to start next, hold-until time or None)`` for a node.
+
+        * ``edd`` — earliest absolute deadline first (deadline-less
+          jobs last), ties by job id; never holds.
+        * ``carbon_waiting`` — realtime jobs first in queue order
+          (never delayed for carbon — a drained backlog of deferrable
+          work must not starve them); then the first deferrable job
+          with no hold; if every queued job is held, the one whose
+          hold fires earliest.
+        * ``none`` — plain queue order (cap-only runs land here).
+        """
+        jobs = node.pending_jobs(respect_arrivals=respect_arrivals)
+        if not jobs:
+            return None, None
+        if self.policy == "edd":
+            job = min(
+                jobs,
+                key=lambda j: (
+                    j.deadline_s if j.deadline_s is not None else float("inf"),
+                    j.job_id,
+                ),
+            )
+            return job, None
+        if self.policy == "carbon_waiting":
+            for job in jobs:
+                if job.request_class is RequestClass.REALTIME:
+                    return job, None
+            best: tuple[float, int, ProofJob] | None = None
+            for job in jobs:
+                t0 = max(
+                    self._ready_s(node, job, now_s, respect_arrivals), now_s
+                )
+                hold = self.hold_until(job, t0)
+                if hold is None:
+                    return job, None
+                if best is None or (hold, job.job_id) < best[:2]:
+                    best = (hold, job.job_id, job)
+            assert best is not None
+            return best[2], best[0]
+        return jobs[0], None
+
+    # -- suspend checkpoints --------------------------------------------------
+    def _progress_fractions(self, job: ProofJob) -> tuple[float, ...]:
+        """Cumulative prove-progress fractions at interior phase edges.
+
+        Derived once per circuit shape from the modmul split of its
+        :class:`~repro.plan.proof_plan.ProofPlan` — the checkpointable
+        boundaries of the proof DAG, exclusive of 0 and 1.
+        """
+        key = (job.circuit.gate_type.name, job.circuit.num_vars)
+        cached = self._fractions.get(key)
+        if cached is not None:
+            return cached
+        muls = plan_modmuls(hyperplonk_plan(*key))
+        total = sum(muls.values())
+        fractions: list[float] = []
+        running = 0.0
+        for phase_muls in muls.values():
+            running += phase_muls
+            fraction = running / total
+            if _EPS < fraction < 1.0 - _EPS:
+                fractions.append(fraction)
+        result = tuple(fractions)
+        self._fractions[key] = result
+        return result
+
+    def next_boundary(self, flight, now_s: float) -> float | None:
+        """Model time of the next checkpointable boundary of a flight.
+
+        Progress marks are the end of the install (if any) plus each
+        interior plan-phase edge scaled into the prove window.  Returns
+        the first mark *strictly ahead* of current progress — so every
+        suspension banks at least one phase of work, the termination
+        argument for cap-driven preemption — or None when the job is
+        already inside its last phase (cheaper to let it finish).
+        """
+        total = flight.install_s + flight.prove_s
+        progress = flight.done_before_s + max(0.0, now_s - flight.start_s)
+        marks: list[float] = []
+        if flight.install_s > 0.0:
+            marks.append(flight.install_s)
+        marks.extend(
+            flight.install_s + f * flight.prove_s
+            for f in self._progress_fractions(flight.job)
+        )
+        for mark in marks:
+            if mark > progress + _EPS and mark < total - _EPS:
+                return flight.start_s + (mark - flight.done_before_s)
+        return None
+
+    # -- pricing --------------------------------------------------------------
+    def account_segment(self, flight, end_s: float, *, lost: bool = False) -> None:
+        """Price one contiguous busy segment ``[flight.start_s, end_s]``.
+
+        The segment's overlap with the job's install window (progress
+        ``[0, install_s]``) burns install watts, the rest prove watts;
+        carbon integrates the trace over the segment's model-time span.
+        Lost (crash-aborted) segments still burned real joules — they
+        accrue into the gross totals *and* the ``lost`` slice, which
+        :meth:`as_dict` nets out of carbon-per-proof.
+        """
+        seconds = end_s - flight.start_s
+        if seconds <= 0.0:
+            return
+        done_start = flight.done_before_s
+        done_end = done_start + seconds
+        install_olap = max(
+            0.0, min(done_end, flight.install_s) - min(done_start, flight.install_s)
+        )
+        energy = (
+            install_olap * self.power.install_w
+            + (seconds - install_olap) * self.power.prove_w
+        )
+        carbon = (
+            (energy / seconds)
+            * self.trace.integral_g_s_per_kwh(flight.start_s, end_s)
+            / JOULES_PER_KWH
+        )
+        self.energy_j += energy
+        self.carbon_g += carbon
+        if lost:
+            self.energy_lost_j += energy
+            self.carbon_lost_g += carbon
+
+    def as_dict(self, records, nodes) -> dict:
+        """The carbon summary block for :func:`cluster_summary`.
+
+        ``carbon_per_proof_g`` is attributional over *useful* busy work
+        (gross minus crash-lost grams, over completed proofs); idle
+        draw is reported separately so the policy benches compare how
+        schedules move busy seconds, not fleet sizing.
+        """
+        makespan = max((r.finish_s for r in records), default=0.0)
+        idle_s = sum(max(0.0, makespan - node.busy_s) for node in nodes)
+        idle_energy = self.power.idle_w * idle_s
+        idle_carbon = (
+            idle_energy * self.trace.mean_intensity(0.0, makespan)
+            / JOULES_PER_KWH
+        )
+        useful_carbon = self.carbon_g - self.carbon_lost_g
+        return {
+            "policy": self.policy,
+            "power_model": self.power.name,
+            "prove_w": round(self.power.prove_w, 6),
+            "install_w": round(self.power.install_w, 6),
+            "idle_w": round(self.power.idle_w, 6),
+            "power_cap_w": self.power_cap_w,
+            "low_threshold_g_per_kwh": round(self.threshold_g_per_kwh, 6),
+            "trace_base_g_per_kwh": self.trace.base_g_per_kwh,
+            "energy_j": round(self.energy_j, 6),
+            "carbon_g": round(self.carbon_g, 6),
+            "energy_lost_j": round(self.energy_lost_j, 6),
+            "carbon_lost_g": round(self.carbon_lost_g, 6),
+            "idle_energy_j": round(idle_energy, 6),
+            "idle_carbon_g": round(idle_carbon, 6),
+            "carbon_per_proof_g": (
+                round(useful_carbon / len(records), 6) if records else 0.0
+            ),
+            "suspends": self.suspends,
+            "resumes": self.resumes,
+            "held_starts": self.held_starts,
+            "cap_deferrals": self.cap_deferrals,
+            "cap_breaches": self.cap_breaches,
+        }
+
+    def __repr__(self):
+        return (
+            f"CarbonRuntime(policy={self.policy!r}, "
+            f"power={self.power.name!r}, cap={self.power_cap_w}, "
+            f"carbon={self.carbon_g:.3f}g)"
+        )

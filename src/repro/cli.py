@@ -111,6 +111,50 @@ def cache_capacity(text: str) -> int | None:
     return None if value == 0 else value
 
 
+def carbon_trace(text: str) -> dict:
+    """A carbon-intensity trace spec: ``diurnal[:BASE:AMP:PERIOD]``.
+
+    ``diurnal`` alone takes the defaults from
+    :class:`repro.carbon.CarbonIntensityTrace`; the long form pins the
+    mean gCO₂/kWh, the diurnal swing fraction, and the period in model
+    seconds (``diurnal:300:0.8:240``).  Returned as a kwargs dict so the
+    CLI can construct the trace next to the run's other seeds.  Bad
+    shapes and out-of-range numbers exit 2, never traceback.
+    """
+    parts = text.split(":")
+    if parts[0] != "diurnal":
+        raise argparse.ArgumentTypeError(
+            f"{text!r} is not a carbon trace; expected "
+            "'diurnal' or 'diurnal:BASE:AMP:PERIOD'"
+        )
+    if len(parts) == 1:
+        return {}
+    if len(parts) != 4:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} has {len(parts) - 1} diurnal parameters; "
+            "expected 'diurnal:BASE:AMP:PERIOD' (all three)"
+        )
+    try:
+        base, amp, period = (float(part) for part in parts[1:])
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"{text!r} has non-numeric diurnal parameters"
+        )
+    if not math.isfinite(base) or base <= 0:
+        raise argparse.ArgumentTypeError(
+            f"base intensity {parts[1]!r} is not a finite number > 0"
+        )
+    if not math.isfinite(amp) or not 0 <= amp < 1:
+        raise argparse.ArgumentTypeError(
+            f"amplitude {parts[2]!r} is not a fraction in [0, 1)"
+        )
+    if not math.isfinite(period) or period <= 0:
+        raise argparse.ArgumentTypeError(
+            f"period {parts[3]!r} is not a finite number > 0"
+        )
+    return {"base_g_per_kwh": base, "amplitude": amp, "period_s": period}
+
+
 def int_list(text: str) -> list[int]:
     """Comma-separated positive ints (``"1,2,4"``), deduplicated."""
     out: list[int] = []

@@ -20,9 +20,16 @@ import argparse
 import json
 import sys
 
+from repro.carbon import (
+    CARBON_POLICIES,
+    CarbonConfig,
+    CarbonIntensityTrace,
+    node_watts,
+)
 from repro.cli import (
     backend_choices,
     cache_capacity,
+    carbon_trace,
     int_list,
     multiplier,
     nonnegative_float,
@@ -248,6 +255,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="open-loop burst-window rate multiplier (>= 1)",
     )
     parser.add_argument(
+        "--carbon-trace",
+        type=carbon_trace,
+        default=None,
+        help="carbon-intensity trace: 'diurnal' (defaults) or "
+        "'diurnal:BASE:AMP:PERIOD' (mean gCO2/kWh, swing fraction, "
+        "period s); seeded from --seed",
+    )
+    parser.add_argument(
+        "--carbon-policy",
+        default="none",
+        choices=CARBON_POLICIES,
+        help="carbon-aware scheduling policy (repro.carbon); "
+        "'none' prices joules and grams without moving any job",
+    )
+    parser.add_argument(
+        "--power-cap",
+        type=positive_float,
+        default=None,
+        help="fleet power cap in watts; pauses deferrable work at "
+        "checkpoint boundaries first (requires --carbon-trace)",
+    )
+    parser.add_argument(
+        "--carbon-threshold",
+        type=positive_float,
+        default=None,
+        help="gCO2/kWh below which carbon_waiting releases deferrable "
+        "jobs (default: the trace's mean intensity)",
+    )
+    parser.add_argument(
         "--respect-arrivals",
         action="store_true",
         help="let node clocks idle until each job's model-time arrival "
@@ -264,6 +300,49 @@ def build_parser() -> argparse.ArgumentParser:
 def scenario_mode(args) -> bool:
     """True when the failure-aware path should run."""
     return args.churn_rate > 0 or args.autoscale
+
+
+def make_carbon(args) -> CarbonConfig | None:
+    """The run's :class:`CarbonConfig`, or None without --carbon-trace."""
+    if args.carbon_trace is None:
+        return None
+    trace = CarbonIntensityTrace(seed=args.seed, **args.carbon_trace)
+    return CarbonConfig(
+        trace=trace,
+        policy=args.carbon_policy,
+        power_cap_w=args.power_cap,
+        low_threshold_g_per_kwh=args.carbon_threshold,
+    )
+
+
+def print_carbon(rows: list[dict]) -> None:
+    """The carbon table (only for runs that priced joules and grams)."""
+    carbon_rows = [row for row in rows if "carbon" in row]
+    if not carbon_rows:
+        return
+    first = carbon_rows[0]["carbon"]
+    cap = first["power_cap_w"]
+    print(
+        f"\ncarbon (policy {first['policy']}, power model "
+        f"{first['power_model']}, cap {f'{cap:g} W' if cap else 'off'})"
+    )
+    cheader = (
+        f"{'nodes':>5}  {'policy':<12} {'energy':>9} {'carbon':>9} "
+        f"{'g/proof':>9} {'held':>5} {'susp':>5} {'defer':>5}"
+    )
+    print(cheader)
+    print("-" * len(cheader))
+    for row in carbon_rows:
+        carbon = row["carbon"]
+        print(
+            f"{row['nodes']:>5}  {row['policy']:<12} "
+            f"{carbon['energy_j'] / 1e3:>8.3f}kJ "
+            f"{carbon['carbon_g']:>8.4f}g "
+            f"{carbon['carbon_per_proof_g']:>9.6f} "
+            f"{carbon['held_starts']:>5} "
+            f"{carbon['suspends']:>5} "
+            f"{carbon['cap_deferrals']:>5}"
+        )
 
 
 def run_cell(args, num_nodes: int, policy: str) -> dict:
@@ -288,6 +367,7 @@ def run_cell(args, num_nodes: int, policy: str) -> dict:
         replicas=args.replicas,
         max_retries=args.max_retries,
         autoscale=autoscale,
+        carbon=make_carbon(args),
         node=NodeConfig(
             cache_capacity=args.cache_capacity,
             max_vars=generator.max_vars(),
@@ -340,6 +420,7 @@ def run_open_loop_cell(args, num_nodes: int, policy: str) -> dict:
         time_model=args.time_model,
         replicas=args.replicas,
         max_retries=args.max_retries,
+        carbon=make_carbon(args),
         node=NodeConfig(
             cache_capacity=args.cache_capacity,
             max_vars=traffic.max_vars(),
@@ -421,6 +502,23 @@ def main(argv: list[str] | None = None) -> int:
     if args.open_loop and args.churn_rate > 0 and args.horizon_s is None:
         parser.error("--open-loop with --churn-rate needs --horizon-s "
                      "to size the churn trace")
+    if args.carbon_trace is None:
+        if args.carbon_policy != "none":
+            parser.error(
+                f"--carbon-policy {args.carbon_policy} needs --carbon-trace"
+            )
+        if args.power_cap is not None:
+            parser.error("--power-cap needs --carbon-trace")
+        if args.carbon_threshold is not None:
+            parser.error("--carbon-threshold needs --carbon-trace")
+    if args.power_cap is not None:
+        busy_w = node_watts(args.time_model).busy_w
+        if args.power_cap < busy_w:
+            parser.error(
+                f"--power-cap ({args.power_cap:g} W) is below one busy "
+                f"node ({busy_w:g} W) for --time-model {args.time_model}; "
+                "no job could ever start"
+            )
     if args.open_loop:
         rows = [
             run_open_loop_cell(args, num_nodes, policy)
@@ -433,6 +531,7 @@ def main(argv: list[str] | None = None) -> int:
             )
         else:
             print_open_loop(args, rows)
+            print_carbon(rows)
         return 0
     rows = [
         run_cell(args, num_nodes, policy)
@@ -497,6 +596,7 @@ def main(argv: list[str] | None = None) -> int:
                 f"{autoscale.get('scale_outs', 0):>6} "
                 f"{autoscale.get('scale_ins', 0):>6}"
             )
+    print_carbon(rows)
     if args.execute:
         print("\nmeasured (execute mode): real per-node caches + prove times")
         for row in rows:

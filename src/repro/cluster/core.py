@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import Iterable
 
+from repro.carbon.runtime import CarbonConfig, CarbonRuntime
 from repro.cluster.autoscale import AutoscalePolicy
 from repro.cluster.engine import ClusterEngine
 from repro.cluster.metrics import cluster_summary
@@ -61,6 +62,9 @@ class ClusterConfig:
     max_retries: int = 2
     #: plan-cost-driven fleet sizing for scenario runs (None = fixed)
     autoscale: AutoscalePolicy | None = None
+    #: carbon/power accounting and policies (None = carbon-free run);
+    #: see :mod:`repro.carbon`
+    carbon: "CarbonConfig | None" = None
 
 
 class ProvingCluster:
@@ -101,6 +105,9 @@ class ProvingCluster:
         #: structured event log of the last run (shared fleet schema;
         #: None until a drain or scenario ran)
         self.events: EventLog | None = None
+        #: carbon runtime of the last run (None until one ran with a
+        #: ``config.carbon``); holds joule/gram accounting and counters
+        self.carbon: "CarbonRuntime | None" = None
 
     def _new_node_id(self) -> str:
         node_id = f"node-{self._next_node}"
@@ -128,7 +135,7 @@ class ProvingCluster:
         node = self.nodes.get(node_id)
         if node is None:
             raise KeyError(f"unknown node {node_id!r}")
-        if node.pending or node.in_flight is not None:
+        if node.pending or node.in_flight is not None or node.suspended_ids:
             raise ValueError(
                 f"node {node_id!r} still has {node.pending} pending jobs; "
                 "drain before removing it"
@@ -168,6 +175,7 @@ class ProvingCluster:
         )
         records = engine.run_wave()
         self.events = engine.events
+        self.carbon = engine.carbon
         return records
 
     def run(self, jobs: list[ProofJob]) -> list[JobRecord]:
@@ -197,6 +205,7 @@ class ProvingCluster:
         engine = ClusterEngine(self, respect_arrivals=True)
         records = engine.run_scenario(jobs, churn=churn)
         self.events = engine.events
+        self.carbon = engine.carbon
         stats = engine.stats.as_dict()
         if self.resilience is None:
             self.resilience = stats
@@ -233,6 +242,11 @@ class ProvingCluster:
             failed_jobs=self.failed_jobs,
             resilience=self.resilience,
             deadlines=self.config.respect_arrivals or self.resilience is not None,
+            carbon=(
+                self.carbon.as_dict(self.records, self._all_nodes())
+                if self.carbon is not None
+                else None
+            ),
         )
 
     def close(self) -> None:

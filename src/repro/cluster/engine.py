@@ -33,11 +33,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dc_field
 from typing import TYPE_CHECKING, Iterable
 
+from repro.carbon.runtime import CarbonRuntime
 from repro.cluster.nodes import JobRecord, ProverNode
 from repro.cluster.records import RetryPolicy
 from repro.cluster.routing import NoRoutableNodeError
 from repro.fleet.events import EventLog
-from repro.service.jobs import ProofJob
+from repro.service.jobs import ProofJob, RequestClass
 from repro.sim import EventHandle, Simulator, TraceSource, install
 from repro.workloads.churn import ChurnEvent
 
@@ -124,6 +125,24 @@ class ClusterEngine:
         #: structured JSONL event log on the model clock (shared schema
         #: with the real fleet — see :mod:`repro.fleet.events`)
         self.events = EventLog(clock=lambda: self.sim.now)
+        #: carbon/power state machine (None = carbon-free run); with a
+        #: passive runtime only pricing runs and every scheduling path
+        #: below stays byte-identical to a carbon-free run
+        carbon_config = getattr(cluster.config, "carbon", None)
+        self.carbon: CarbonRuntime | None = (
+            CarbonRuntime(carbon_config, cluster.time_model)
+            if carbon_config is not None
+            else None
+        )
+        # one parking maneuver at a time keeps suspension deterministic
+        self._suspend_handle: EventHandle | None = None
+        self._suspend_victim: str | None = None
+        self._suspend_job: int | None = None
+        self._suspend_for: str | None = None
+        # per-node dedup keys so scheduler_choice / power_cap events
+        # record decisions, not every re-kick of an unchanged one
+        self._last_choice: dict[str, tuple] = {}
+        self._last_cap_note: dict[str, tuple] = {}
 
     # -- node work loop ------------------------------------------------------
     def _kick(self, node: ProverNode) -> None:
@@ -133,6 +152,9 @@ class ClusterEngine:
         handle = self._start_handles.pop(node.node_id, None)
         if handle is not None:
             handle.cancel()
+        if self.carbon is not None and not self.carbon.passive:
+            self._kick_carbon(node)
+            return
         job = node.peek_next(respect_arrivals=self.respect)
         if job is None:
             return
@@ -149,20 +171,27 @@ class ClusterEngine:
         self._start_handles.pop(node.node_id, None)
         if node.down or node.in_flight is not None:
             return
-        self._begin(node)
+        if self.carbon is not None and not self.carbon.passive:
+            self._kick_carbon(node)
+        else:
+            self._begin(node)
 
-    def _begin(self, node: ProverNode) -> None:
-        job = node.peek_next(respect_arrivals=self.respect)
+    def _begin(self, node: ProverNode, job: ProofJob | None = None) -> None:
+        if job is None:
+            job = node.peek_next(respect_arrivals=self.respect)
         if job is None:
             return
         flight = node.begin(job, self.sim.now, respect_arrivals=self.respect)
+        if self.carbon is not None:
+            self.carbon.on_busy(node.node_id)
         self._finish_handles[node.node_id] = self.sim.schedule(
             flight.finish_s, lambda: self._finish(node), priority=PRIO_FINISH
         )
 
     def _finish(self, node: ProverNode) -> None:
         self._finish_handles.pop(node.node_id, None)
-        job = node.in_flight.job
+        flight = node.in_flight
+        job = flight.job
         record = node.complete()
         self.records.append(record)
         self.events.emit(
@@ -172,12 +201,254 @@ class ClusterEngine:
             attempt=record.attempt,
             cache_hit=record.cache_hit,
         )
+        if self.carbon is not None:
+            self.carbon.account_segment(flight, record.finish_s)
+            self.carbon.on_idle(node.node_id)
         if self._scenario:
             self.cluster.router.release(
                 node.node_id, self.cluster.router.job_cost_s(job)
             )
             self._check_done()
         self._kick(node)
+        self._rekick_power_waiters()
+
+    # -- carbon/power scheduling gate ----------------------------------------
+    def _kick_carbon(self, node: ProverNode) -> None:
+        """Carbon-aware (re)arm of one idle node.
+
+        Parked work resumes first (its banked phases are hostage to
+        this node), then the policy picks among queued jobs, the
+        carbon-waiting hold is applied, and finally the power cap gets
+        a veto — which for a blocked *realtime* job also requests a
+        deferrable suspension somewhere in the fleet.
+        """
+        carbon = self.carbon
+        suspended = node.suspended_ids
+        if suspended:
+            if carbon.cap_allows(len(self.cluster.router.up_node_ids)):
+                self._resume(node, suspended[0])
+            # else: stay parked; the next finish/suspend re-kicks us
+            return
+        job, hold = carbon.select_job(
+            node, now_s=self.sim.now, respect_arrivals=self.respect
+        )
+        if job is None:
+            return
+        arrival = job.arrival_s if self.respect else 0.0
+        ready = max(node.clock_s, arrival)
+        if hold is not None and hold > self.sim.now:
+            self._note_hold(node, job, hold)
+            self._start_handles[node.node_id] = self.sim.schedule(
+                max(hold, ready),
+                lambda: self._start_event(node),
+                priority=PRIO_START,
+            )
+            return
+        if ready > self.sim.now:
+            self._start_handles[node.node_id] = self.sim.schedule(
+                ready, lambda: self._start_event(node), priority=PRIO_START
+            )
+            return
+        if not carbon.cap_allows(len(self.cluster.router.up_node_ids)):
+            self._power_block(node, job)
+            return
+        self._note_choice(node, job)
+        self._begin(node, job)
+
+    def _note_hold(self, node: ProverNode, job: ProofJob, hold: float) -> None:
+        """Record one carbon-waiting hold decision (deduplicated)."""
+        key = (job.job_id, "hold", round(hold, 9))
+        if self._last_choice.get(node.node_id) == key:
+            return
+        self._last_choice[node.node_id] = key
+        self.carbon.held_starts += 1
+        self.events.emit(
+            "scheduler_choice",
+            job_id=job.job_id,
+            node_id=node.node_id,
+            attempt=job.attempt,
+            action="hold",
+            until_s=round(hold, 6),
+            policy=self.carbon.policy,
+        )
+
+    def _note_choice(self, node: ProverNode, job: ProofJob) -> None:
+        """Record a queue-reordering pick (edd / skip-ahead) if one
+        happened — starting the queue head is not a decision."""
+        head = node.peek_next(respect_arrivals=self.respect)
+        if head is None or head.job_id == job.job_id:
+            return
+        key = (job.job_id, "skip_ahead")
+        if self._last_choice.get(node.node_id) == key:
+            return
+        self._last_choice[node.node_id] = key
+        self.events.emit(
+            "scheduler_choice",
+            job_id=job.job_id,
+            node_id=node.node_id,
+            attempt=job.attempt,
+            action="skip_ahead",
+            policy=self.carbon.policy,
+        )
+
+    def _power_block(self, node: ProverNode, job: ProofJob) -> None:
+        """Handle a start the fleet power cap vetoed.
+
+        Liveness floor: with nothing busy and no parking in flight the
+        start proceeds anyway (and is counted as a breach) — a cap that
+        can never admit one busy node must not deadlock the fleet.  A
+        blocked *realtime* job additionally requests that a running
+        deferrable job park at its next phase boundary.
+        """
+        carbon = self.carbon
+        up_nodes = len(self.cluster.router.up_node_ids)
+        if carbon.active_nodes == 0 and self._suspend_handle is None:
+            carbon.cap_breaches += 1
+            self.events.emit(
+                "power_cap",
+                job_id=job.job_id,
+                node_id=node.node_id,
+                attempt=job.attempt,
+                reason="floor",
+                draw_w=round(carbon.draw_w(up_nodes), 6),
+            )
+            self._note_choice(node, job)
+            self._begin(node, job)
+            return
+        key = (job.job_id, "defer")
+        if self._last_cap_note.get(node.node_id) != key:
+            self._last_cap_note[node.node_id] = key
+            carbon.cap_deferrals += 1
+            self.events.emit(
+                "power_cap",
+                job_id=job.job_id,
+                node_id=node.node_id,
+                attempt=job.attempt,
+                reason="defer",
+                draw_w=round(carbon.draw_w(up_nodes), 6),
+            )
+        if job.request_class is RequestClass.REALTIME:
+            self._request_suspension(node.node_id)
+
+    def _request_suspension(self, beneficiary_id: str) -> None:
+        """Park the deferrable flight with the earliest phase boundary.
+
+        At most one parking maneuver is in flight at a time (the next
+        blocked start re-requests after it lands), which keeps the
+        victim choice a pure function of fleet state — the determinism
+        argument for cap-driven preemption.
+        """
+        if self._suspend_handle is not None:
+            return
+        candidates: list[tuple[float, str, int]] = []
+        for node_id in sorted(self.cluster.nodes):
+            node = self.cluster.nodes[node_id]
+            flight = node.in_flight
+            if node.down or flight is None:
+                continue
+            if flight.job.request_class is not RequestClass.DEFERRABLE:
+                continue
+            boundary = self.carbon.next_boundary(flight, self.sim.now)
+            if boundary is not None:
+                candidates.append((boundary, node_id, flight.job.job_id))
+        if not candidates:
+            return
+        boundary, victim_id, job_id = min(candidates)
+        self._suspend_victim = victim_id
+        self._suspend_job = job_id
+        self._suspend_for = beneficiary_id
+        self._suspend_handle = self.sim.schedule(
+            max(boundary, self.sim.now),
+            lambda: self._suspend_event(victim_id),
+            priority=PRIO_START,
+        )
+
+    def _suspend_event(self, victim_id: str) -> None:
+        """Fire a scheduled park at the victim's phase boundary."""
+        self._suspend_handle = None
+        beneficiary_id = self._suspend_for
+        expected_job = self._suspend_job
+        self._suspend_victim = None
+        self._suspend_job = None
+        self._suspend_for = None
+        node = self.cluster.nodes.get(victim_id)
+        flight = node.in_flight if node is not None else None
+        if (
+            node is None
+            or node.down
+            or flight is None
+            or flight.job.job_id != expected_job
+        ):
+            # the victim finished, crashed, or swapped jobs meanwhile
+            self._rekick_power_waiters()
+            return
+        handle = self._finish_handles.pop(victim_id, None)
+        if handle is not None:
+            handle.cancel()
+        self.carbon.account_segment(flight, self.sim.now)
+        node.suspend(self.sim.now)
+        self.carbon.on_idle(victim_id)
+        self.carbon.suspends += 1
+        total = flight.install_s + flight.prove_s
+        self.events.emit(
+            "job_suspend",
+            job_id=flight.job.job_id,
+            node_id=victim_id,
+            attempt=flight.job.attempt,
+            done_s=round(flight.done_before_s, 6),
+            remaining_s=round(total - flight.done_before_s, 6),
+        )
+        # the beneficiary the headroom was freed for starts first, so a
+        # resumed deferrable can never steal it back at this timestamp
+        beneficiary = (
+            self.cluster.nodes.get(beneficiary_id)
+            if beneficiary_id is not None
+            else None
+        )
+        if beneficiary is not None:
+            self._kick(beneficiary)
+        self._rekick_power_waiters()
+
+    def _resume(self, node: ProverNode, job_id: int) -> None:
+        """Unpark a suspended job on its node and re-arm its finish."""
+        flight = node.resume(job_id, self.sim.now)
+        self.carbon.on_busy(node.node_id)
+        self.carbon.resumes += 1
+        self.events.emit(
+            "job_resume",
+            job_id=job_id,
+            node_id=node.node_id,
+            attempt=flight.job.attempt,
+            remaining_s=round(flight.finish_s - flight.start_s, 6),
+        )
+        self._finish_handles[node.node_id] = self.sim.schedule(
+            flight.finish_s, lambda: self._finish(node), priority=PRIO_FINISH
+        )
+
+    def _rekick_power_waiters(self) -> None:
+        """Re-arm idle nodes after cap headroom may have changed.
+
+        Two passes in node order — nodes whose next start is realtime
+        first, then the rest — so freed watts always go to the
+        latency-sensitive class before deferrable work re-fills them.
+        """
+        carbon = self.carbon
+        if carbon is None or carbon.passive or carbon.power_cap_w is None:
+            return
+        for realtime_first in (True, False):
+            for node_id in sorted(self.cluster.nodes):
+                node = self.cluster.nodes[node_id]
+                if node.down or node.in_flight is not None:
+                    continue
+                head = node.peek_next(respect_arrivals=self.respect)
+                if head is None and not node.suspended_ids:
+                    continue
+                is_realtime = (
+                    head is not None
+                    and head.request_class is RequestClass.REALTIME
+                )
+                if is_realtime == realtime_first:
+                    self._kick(node)
 
     # -- scenario-side routing ----------------------------------------------
     def _route(self, job: ProofJob) -> str | None:
@@ -256,11 +527,24 @@ class ClusterEngine:
         handle = self._start_handles.pop(node.node_id, None)
         if handle is not None:
             handle.cancel()
+        if node.node_id in (self._suspend_victim, self._suspend_for):
+            # a parking maneuver touching this node is moot either way
+            if self._suspend_handle is not None:
+                self._suspend_handle.cancel()
+            self._suspend_handle = None
+            self._suspend_victim = None
+            self._suspend_job = None
+            self._suspend_for = None
         retry_job: ProofJob | None = None
         if node.in_flight is not None:
             handle = self._finish_handles.pop(node.node_id, None)
             if handle is not None:
                 handle.cancel()
+            if self.carbon is not None:
+                self.carbon.account_segment(
+                    node.in_flight, self.sim.now, lost=True
+                )
+                self.carbon.on_idle(node.node_id)
             retry_job, lost = node.abort(self.sim.now)
             self.stats.lost_model_s += lost
         requeued = node.crash(self.sim.now)
@@ -286,6 +570,7 @@ class ClusterEngine:
                 self._route(retry_job)
             else:
                 self._fail(retry_job)
+        self._rekick_power_waiters()
 
     def _recover(self, node: ProverNode) -> None:
         self.stats.recoveries += 1
@@ -348,6 +633,13 @@ class ClusterEngine:
                 "nodes": len(self.cluster.nodes),
             }
         )
+        self.events.emit(
+            "autoscale_decision",
+            node_id=node_id,
+            action="scale_out",
+            signal_s=round(signal, 6),
+            nodes=len(self.cluster.nodes),
+        )
         if policy.provision_s > 0:
             # not routable until provisioned: down-marked, then revived
             node.down = True
@@ -400,6 +692,13 @@ class ClusterEngine:
                 "nodes": len(self.cluster.nodes),
             }
         )
+        self.events.emit(
+            "autoscale_decision",
+            node_id=node_id,
+            action="scale_in",
+            signal_s=round(signal, 6),
+            nodes=len(self.cluster.nodes),
+        )
 
     # -- entry points --------------------------------------------------------
     def _finalize(self) -> list[JobRecord]:
@@ -407,6 +706,16 @@ class ClusterEngine:
         for job in sorted(self._parked, key=lambda j: (j.arrival_s, j.job_id)):
             self._fail(job)  # stranded: fleet was down to the end
         self._parked = []
+        # jobs still parked at a phase boundary when the run drained out
+        # are failed — their banked phases become lost model seconds
+        stranded = []
+        for node_id in sorted(self.cluster.nodes):
+            stranded.extend(self.cluster.nodes[node_id].discard_suspended())
+        for flight in sorted(
+            stranded, key=lambda f: (f.job.arrival_s, f.job.job_id)
+        ):
+            self.stats.lost_model_s += flight.done_before_s
+            self._fail(flight.job)
         self.records.sort(key=lambda r: (r.finish_s, r.job_id))
         self.cluster.records.extend(self.records)
         self.cluster.failed_jobs.extend(self.failed_jobs)

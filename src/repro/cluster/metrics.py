@@ -120,6 +120,7 @@ def cluster_summary(
     failed_jobs: list | None = None,
     resilience: dict | None = None,
     deadlines: bool = False,
+    carbon: dict | None = None,
 ) -> dict:
     """One summary dict over a finished cluster run."""
     makespan = max((r.finish_s for r in records), default=0.0)
@@ -176,6 +177,8 @@ def cluster_summary(
     if resilience is not None:
         doc["retries"] = retry_stats(records)
         doc["resilience"] = resilience
+    if carbon is not None:
+        doc["carbon"] = carbon
     real_stats = [
         node.real_cache_stats
         for node in nodes

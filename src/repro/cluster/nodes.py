@@ -42,6 +42,7 @@ __all__ = [
     "NodeConfig",
     "ProverNode",
     "SimIndexCache",
+    "SuspendedFlight",
 ]
 
 #: default LRU entries in a node's (bounded) local index cache
@@ -111,7 +112,13 @@ class NodeConfig:
 
 @dataclass
 class InFlightJob:
-    """The one job a node is currently proving (model time)."""
+    """The one job a node is currently proving (model time).
+
+    ``start_s``/``finish_s`` describe the *current* busy segment: a
+    suspended-and-resumed job gets fresh values on resume, with the work
+    already banked in ``done_before_s``.  ``first_start_s`` keeps the
+    original start for latency records.
+    """
 
     job: ProofJob
     arrival_s: float
@@ -120,6 +127,22 @@ class InFlightJob:
     install_s: float
     prove_s: float
     cache_hit: bool
+    #: model time the job first started (segment restarts don't move it)
+    first_start_s: float = 0.0
+    #: busy seconds completed in earlier segments (before suspensions)
+    done_before_s: float = 0.0
+    #: how many times this job was parked at a phase boundary
+    suspensions: int = 0
+    #: model seconds spent parked between suspend and resume
+    suspended_wait_s: float = 0.0
+
+
+@dataclass
+class SuspendedFlight:
+    """A parked deferrable job: its flight state plus when it parked."""
+
+    flight: InFlightJob
+    suspended_at_s: float
 
 
 class ProverNode:
@@ -156,6 +179,8 @@ class ProverNode:
         self._pending: dict[int, ProofJob] = {}
         self._pending_heap: list[tuple[float, int]] = []
         self._queue_respect = False
+        #: jobs parked at a phase boundary, awaiting resume (by job id)
+        self._suspended: dict[int, SuspendedFlight] = {}
         #: jobs completed in model time but not yet really proven
         self._to_execute: list[ProofJob] = []
         self.service: ProvingService | None = None
@@ -179,8 +204,19 @@ class ProverNode:
 
     @property
     def idle(self) -> bool:
-        """True when the node is up with nothing queued or in flight."""
-        return not self.down and self.in_flight is None and not self._pending
+        """True when the node is up with nothing queued, parked, or in
+        flight."""
+        return (
+            not self.down
+            and self.in_flight is None
+            and not self._pending
+            and not self._suspended
+        )
+
+    @property
+    def suspended_ids(self) -> list[int]:
+        """Job ids currently parked on this node, ascending."""
+        return sorted(self._suspended)
 
     def submit(self, job: ProofJob) -> None:
         """Queue ``job`` on this node (the router already chose it)."""
@@ -220,6 +256,28 @@ class ProverNode:
             return job
         return None
 
+    def pending_jobs(self, *, respect_arrivals: bool = False) -> list[ProofJob]:
+        """Every queued job in queue (start) order, without popping.
+
+        The carbon policies scan this to reorder or skip ahead of the
+        queue head; :meth:`begin` accepts any returned job, not just
+        the head.
+        """
+        if not self._pending:
+            return []
+        if respect_arrivals != self._queue_respect:
+            self._rekey_queue(respect_arrivals)
+        live = sorted(
+            entry for entry in self._pending_heap if entry[1] in self._pending
+        )
+        seen: set[int] = set()
+        jobs: list[ProofJob] = []
+        for _, job_id in live:
+            if job_id not in seen:
+                seen.add(job_id)
+                jobs.append(self._pending[job_id])
+        return jobs
+
     def begin(
         self, job: ProofJob, now_s: float, *, respect_arrivals: bool = False
     ) -> InFlightJob:
@@ -252,6 +310,7 @@ class ProverNode:
             install_s=install,
             prove_s=prove,
             cache_hit=hit,
+            first_start_s=start,
         )
         return self.in_flight
 
@@ -262,7 +321,10 @@ class ProverNode:
             raise RuntimeError(f"node {self.node_id} has nothing in flight")
         self.in_flight = None
         self.clock_s = flight.finish_s
-        self.busy_s += flight.install_s + flight.prove_s
+        # earlier segments of a suspended job were banked at suspend time
+        self.busy_s += (
+            flight.install_s + flight.prove_s - flight.done_before_s
+        )
         self.jobs_done += 1
         record = JobRecord(
             job_id=flight.job.job_id,
@@ -270,13 +332,15 @@ class ProverNode:
             circuit_key=flight.job.circuit_key,
             node_id=self.node_id,
             arrival_s=flight.arrival_s,
-            start_s=flight.start_s,
+            start_s=flight.first_start_s,
             finish_s=flight.finish_s,
             prove_model_s=flight.prove_s,
             install_model_s=flight.install_s,
             cache_hit=flight.cache_hit,
             deadline_s=flight.job.deadline_s,
             attempt=flight.job.attempt,
+            suspensions=flight.suspensions,
+            suspended_s=flight.suspended_wait_s,
         )
         self.records.append(record)
         if self.service is not None:
@@ -292,6 +356,64 @@ class ProverNode:
         lost = max(0.0, now_s - flight.start_s)
         self.lost_s += lost
         return flight.job, lost
+
+    def suspend(self, now_s: float) -> InFlightJob:
+        """Park the in-flight job at ``now_s`` (a phase boundary).
+
+        The completed segment's busy seconds are banked immediately
+        (``busy_s`` and ``done_before_s``) so a later crash loses only
+        queued state, never finished phases; the flight waits in the
+        suspended set until :meth:`resume`.
+        """
+        flight = self.in_flight
+        if flight is None:
+            raise RuntimeError(f"node {self.node_id} has nothing in flight")
+        self.in_flight = None
+        done = max(0.0, now_s - flight.start_s)
+        flight.done_before_s += done
+        flight.suspensions += 1
+        self.busy_s += done
+        self.clock_s = max(self.clock_s, now_s)
+        self._suspended[flight.job.job_id] = SuspendedFlight(
+            flight=flight, suspended_at_s=now_s
+        )
+        return flight
+
+    def resume(self, job_id: int, now_s: float) -> InFlightJob:
+        """Unpark ``job_id`` at ``now_s``; returns the live flight.
+
+        The flight restarts as a fresh segment — ``start_s``/``finish_s``
+        describe only the remaining work — with the banked progress in
+        ``done_before_s``; the caller schedules the new finish event.
+        """
+        if self.down:
+            raise RuntimeError(f"node {self.node_id} is down")
+        if self.in_flight is not None:
+            raise RuntimeError(f"node {self.node_id} is already proving")
+        parked = self._suspended.pop(job_id)
+        flight = parked.flight
+        start = max(self.clock_s, now_s)
+        flight.suspended_wait_s += max(0.0, start - parked.suspended_at_s)
+        remaining = flight.install_s + flight.prove_s - flight.done_before_s
+        flight.start_s = start
+        flight.finish_s = start + remaining
+        self.in_flight = flight
+        return flight
+
+    def discard_suspended(self) -> list[InFlightJob]:
+        """Drop every parked job (end of run); returns their flights.
+
+        Banked busy seconds move to ``lost_s`` — the phases completed
+        before the park were ultimately wasted work.
+        """
+        flights = [
+            self._suspended[job_id].flight for job_id in sorted(self._suspended)
+        ]
+        self._suspended.clear()
+        for flight in flights:
+            self.busy_s -= flight.done_before_s
+            self.lost_s += flight.done_before_s
+        return flights
 
     def crash(self, now_s: float) -> list[ProofJob]:
         """Take the node down at ``now_s``; returns its queued jobs.
@@ -311,6 +433,15 @@ class ProverNode:
         requeued = list(self._pending.values())
         self._pending.clear()
         self._pending_heap.clear()
+        # parked jobs survive as *jobs* but their banked phases die with
+        # the node's state: busy seconds become lost seconds and the job
+        # requeues from scratch alongside the queued ones
+        for job_id in sorted(self._suspended):
+            flight = self._suspended[job_id].flight
+            self.busy_s -= flight.done_before_s
+            self.lost_s += flight.done_before_s
+            requeued.append(flight.job)
+        self._suspended.clear()
         return requeued
 
     def recover(self, now_s: float) -> None:

@@ -49,6 +49,10 @@ class JobRecord:
     deadline_s: float | None = None
     #: retry ordinal at completion (0 = never lost to a crash)
     attempt: int = 0
+    #: times the job was parked at a phase boundary (power capping)
+    suspensions: int = 0
+    #: model seconds spent parked between suspend and resume
+    suspended_s: float = 0.0
 
     @property
     def latency_s(self) -> float:

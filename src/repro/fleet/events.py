@@ -27,7 +27,10 @@ from dataclasses import dataclass, field as dc_field
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
-#: every event kind either runtime may emit, in no particular order
+#: every event kind either runtime may emit, in no particular order.
+#: ``autoscale_decision`` / ``scheduler_choice`` record *why* the engine
+#: moved (ROADMAP item 5's schema gap); ``job_suspend`` / ``job_resume``
+#: / ``power_cap`` are the carbon/power machinery of ``repro.carbon``.
 EVENT_KINDS = (
     "job_accepted",
     "job_assigned",
@@ -36,8 +39,13 @@ EVENT_KINDS = (
     "job_retried",
     "job_failed",
     "job_shed",
+    "job_suspend",
+    "job_resume",
     "node_up",
     "node_down",
+    "autoscale_decision",
+    "scheduler_choice",
+    "power_cap",
 )
 
 # O(1) membership for the emit hot path

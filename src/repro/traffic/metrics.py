@@ -114,4 +114,8 @@ def traffic_summary(engine: OpenLoopEngine) -> dict:
     }
     if engine.admission is not None:
         doc["admission"] = engine.admission.as_dict()
+    if engine.carbon is not None:
+        doc["carbon"] = engine.carbon.as_dict(
+            records, engine.cluster._all_nodes()
+        )
     return doc

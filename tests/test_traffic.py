@@ -425,6 +425,32 @@ class TestOpenLoopCli:
         assert args.tenants == 5
         assert math.isclose(args.diurnal_amplitude, 0.25)
 
+    def test_carbon_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "--carbon-trace",
+                "diurnal:300:0.8:240",
+                "--carbon-policy",
+                "carbon_waiting",
+                "--power-cap",
+                "600",
+                "--carbon-threshold",
+                "180",
+            ]
+        )
+        assert args.carbon_trace == {
+            "base_g_per_kwh": 300.0,
+            "amplitude": 0.8,
+            "period_s": 240.0,
+        }
+        assert args.carbon_policy == "carbon_waiting"
+        assert args.power_cap == 600.0
+        assert args.carbon_threshold == 180.0
+        # bare "diurnal" means the trace defaults
+        assert build_parser().parse_args(
+            ["--carbon-trace", "diurnal"]
+        ).carbon_trace == {}
+
     @pytest.mark.parametrize(
         "argv",
         [
@@ -438,6 +464,20 @@ class TestOpenLoopCli:
             ["--open-loop", "--diurnal-amplitude", "1.0"],
             ["--open-loop", "--burst-mult", "0.9"],
             ["--open-loop", "--admission-window", "nan"],
+            # carbon flags require --carbon-trace
+            ["--carbon-policy", "carbon_waiting"],
+            ["--power-cap", "500"],
+            ["--carbon-threshold", "180"],
+            # malformed trace specs
+            ["--carbon-trace", "sinusoid"],
+            ["--carbon-trace", "diurnal:300:0.8"],
+            ["--carbon-trace", "diurnal:300:1.5:240"],
+            ["--carbon-trace", "diurnal:-5:0.5:240"],
+            ["--carbon-trace", "diurnal:300:0.5:nan"],
+            # cap below one busy node's draw / non-positive cap
+            ["--carbon-trace", "diurnal", "--power-cap", "100"],
+            ["--carbon-trace", "diurnal", "--power-cap", "0"],
+            ["--carbon-trace", "diurnal", "--carbon-policy", "bogus"],
         ],
     )
     def test_bad_values_exit_2(self, argv, capsys):
